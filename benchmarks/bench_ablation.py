@@ -1,0 +1,122 @@
+"""Ablations of the library's design choices (DESIGN.md §2).
+
+* exact `Fraction` arithmetic vs. float Monte-Carlo approximation — the
+  price of bit-exact reproduction;
+* Theorem 1's quotient (restricted plans, a single anchored DP run) vs.
+  Theorem 2's inclusion–exclusion (unrestricted plans) on the same data;
+* the c-independence witness search as pattern sizes grow (the PTime claim
+  of Proposition 2 for our substituted test);
+* the cache facade's decision overhead (`answerable`) vs. full answering.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import RewritingCache
+from repro.prob import query_answer
+from repro.prob.approximate import approximate_query_answer
+from repro.rewrite import c_independent, probabilistic_tp_plan
+from repro.tp import parse_pattern
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+from repro.workloads.synthetic import personnel_pdocument, personnel_query
+
+
+@pytest.mark.paper("ablation: exact vs approximate evaluation")
+def test_exact_evaluation_cost(benchmark, report):
+    p = personnel_pdocument(persons=8, projects=3, seed=8)
+    q = personnel_query("project0")
+    answer = benchmark(query_answer, p, q)
+    report.append(f"A1 exact evaluation: {len(answer)} exact rationals")
+
+
+@pytest.mark.paper("ablation: exact vs approximate evaluation")
+def test_approximate_evaluation_cost(benchmark, report):
+    p = personnel_pdocument(persons=8, projects=3, seed=8)
+    q = personnel_query("project0")
+    estimates = benchmark(
+        approximate_query_answer, p, q, 200, random.Random(1)
+    )
+    exact = query_answer(p, q)
+    worst = max(
+        (abs(estimates.get(n, 0.0) - float(pr)) for n, pr in exact.items()),
+        default=0.0,
+    )
+    report.append(
+        f"A1 approximate (200 samples): max additive error {worst:.3f}"
+    )
+
+
+@pytest.mark.paper("ablation: Theorem 1 quotient vs Theorem 2 incl-excl")
+def test_restricted_plan_cost(benchmark, report):
+    q = parse_pattern("a/b/c//d")          # /-only view ⇒ restricted
+    view = View("v", parse_pattern("a/b/c"))
+    plan = probabilistic_tp_plan(q, view)
+    assert plan is not None and plan.restricted
+    p = _nested_chain_document()
+    ext = probabilistic_extension(p, view)
+    answer = benchmark(plan.evaluate, ext)
+    assert answer == query_answer(p, q)
+    report.append("A2 restricted plan: one anchored DP run per node")
+
+
+@pytest.mark.paper("ablation: Theorem 1 quotient vs Theorem 2 incl-excl")
+def test_unrestricted_plan_cost(benchmark, report):
+    q = parse_pattern("a//b/c//d")         # // on both sides ⇒ unrestricted
+    view = View("v", parse_pattern("a//b/c"))
+    plan = probabilistic_tp_plan(q, view)
+    assert plan is not None and not plan.restricted
+    p = _nested_chain_document()
+    ext = probabilistic_extension(p, view)
+    answer = benchmark(plan.evaluate, ext)
+    assert answer == query_answer(p, q)
+    report.append(
+        "A2 unrestricted plan: inclusion-exclusion over nested view images"
+    )
+
+
+def _nested_chain_document():
+    from repro.pxml import ind, ordinary, pdoc
+
+    return pdoc(ordinary(0, "a",
+               ordinary(1, "b",
+               ordinary(2, "c",
+               ordinary(3, "b",
+               ordinary(4, "c",
+                        ind(5, (ordinary(6, "d"), "0.5")),
+                        ordinary(7, "b",
+                                 ordinary(8, "c",
+                                          ind(9, (ordinary(10, "d"), "0.25"))))))))))
+
+
+@pytest.mark.paper("ablation: c-independence witness search scaling")
+@pytest.mark.parametrize("depth", [2, 4, 6, 8])
+def test_cindependence_cost(benchmark, report, depth):
+    left = parse_pattern("/".join(["a"] + [f"l{i}" for i in range(1, depth)]) + "[x]")
+    right = parse_pattern("/".join(["a"] + [f"l{i}" for i in range(1, depth)]) + "[y]")
+    verdict = benchmark(c_independent, left, right)
+    assert not verdict  # same-position predicates are always dependent
+    report.append(f"A3 c-independence |mb|={depth}: polynomial witness search")
+
+
+@pytest.mark.paper("ablation: cache decision vs full answering")
+def test_cache_decision_only(benchmark, report):
+    p = paper.p_per()
+    cache = RewritingCache(p, strict=True)
+    cache.materialize(View("v2BON", paper.v2_bon()))
+    verdict = benchmark(cache.answerable, paper.q_bon())
+    assert verdict
+    report.append("A4 cache.answerable: decision without probability retrieval")
+
+
+@pytest.mark.paper("ablation: cache decision vs full answering")
+def test_cache_full_answer(benchmark, report):
+    from fractions import Fraction
+
+    p = paper.p_per()
+    cache = RewritingCache(p, strict=True)
+    cache.materialize(View("v2BON", paper.v2_bon()))
+    result = benchmark(cache.answer, paper.q_bon())
+    assert result.answer == {5: Fraction(9, 10)}
+    report.append("A4 cache.answer: decision + f_r evaluation")

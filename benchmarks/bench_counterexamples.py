@@ -1,0 +1,65 @@
+"""E5–E6: the Figure 5 counterexamples — probabilistic rewritings that
+cannot exist although deterministic ones do (§4.1, Examples 11–12)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.prob import node_probability, query_answer
+from repro.rewrite import fact1_holds, probabilistic_tp_plan
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+
+F = Fraction
+
+
+@pytest.mark.paper("Example 11 / Figure 5 left")
+def test_example11_indistinguishable_extensions(benchmark, report):
+    q, v = paper.example11_query(), paper.example11_view()
+    p1, p2 = paper.p1_example11(), paper.p2_example11()
+    assert fact1_holds(q, v)  # the deterministic rewriting exists
+
+    def run():
+        view = View("v", v)
+        return (
+            probabilistic_extension(p1, view),
+            probabilistic_extension(p2, view),
+            node_probability(p1, q, 3),
+            node_probability(p2, q, 3),
+        )
+
+    ext1, ext2, pr1, pr2 = benchmark(run)
+    assert ext1.pdocument == ext2.pdocument        # views cannot distinguish
+    assert (pr1, pr2) == (F(13, 40), F(1, 2))       # but the answers differ
+    assert probabilistic_tp_plan(q, View("v", v)) is None
+    report.append(
+        "E5 Example 11: (P̂1)_v=(P̂2)_v with Pr=0.65 selection; true answers "
+        f"{float(pr1)} vs {float(pr2)} — no f_r exists, TPrewrite refuses"
+    )
+
+
+@pytest.mark.paper("Example 12 / Figure 5 right")
+def test_example12_prefix_suffix_obstruction(benchmark, report):
+    q, v = paper.example12_query(), paper.example12_view()
+    p3, p4 = paper.p3_example12(), paper.p4_example12()
+    assert fact1_holds(q, v)
+
+    def run():
+        view = View("v", v)
+        return (
+            probabilistic_extension(p3, view),
+            probabilistic_extension(p4, view),
+            node_probability(p3, q, 12),
+            node_probability(p4, q, 12),
+            query_answer(p3, v),
+        )
+
+    ext3, ext4, pr3, pr4, view_answer = benchmark(run)
+    assert ext3.pdocument == ext4.pdocument
+    assert (pr3, pr4) == (F(288, 1000), F(264, 1000))
+    assert view_answer == {9: F(12, 100), 11: F(24, 100)}
+    assert probabilistic_tp_plan(q, View("v", v)) is None
+    report.append(
+        "E6 Example 12: nc1/nc2 selected at 0.12/0.24 in both documents; "
+        "true answers 0.288 vs 0.264 — u=2 condition rejects the plan"
+    )

@@ -1,0 +1,88 @@
+"""E1–E4: regenerate the worked examples of §2–§3 (Figures 1–4).
+
+Every benchmark asserts the paper's exact value before timing it, so a green
+run *is* the reproduction.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.prob import query_answer
+from repro.pxml.worlds import enumerate_worlds, world_probability
+from repro.tp.embedding import evaluate
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+
+F = Fraction
+
+
+@pytest.mark.paper("Example 3 / Figures 1-2")
+def test_example3_world_probability(benchmark, report):
+    p, d = paper.p_per(), paper.d_per()
+    result = benchmark(world_probability, p, d)
+    assert result == F(4725, 10000)
+    report.append(f"E1 Example 3: Pr(d_PER) paper=0.4725 measured={float(result)}")
+
+
+@pytest.mark.paper("Example 3 / px-space")
+def test_px_space_enumeration(benchmark, report):
+    p = paper.p_per()
+    worlds = benchmark(enumerate_worlds, p)
+    total = sum(pr for _, pr in worlds)
+    assert total == 1
+    report.append(f"E1 px-space: {len(worlds)} worlds, total probability {total}")
+
+
+@pytest.mark.paper("Example 5 / Figure 3")
+def test_example5_deterministic_results(benchmark, report):
+    d = paper.d_per()
+    queries = {
+        "q_RBON": paper.q_rbon(),
+        "q_BON": paper.q_bon(),
+        "v1_BON": paper.v1_bon(),
+        "v2_BON": paper.v2_bon(),
+    }
+
+    def run():
+        return {name: evaluate(q, d) for name, q in queries.items()}
+
+    results = benchmark(run)
+    assert results == {
+        "q_RBON": {5}, "q_BON": {5}, "v1_BON": {5}, "v2_BON": {5, 7},
+    }
+    report.append("E2 Example 5: all four deterministic results match the paper")
+
+
+@pytest.mark.paper("Example 6 / Figure 3")
+def test_example6_probabilistic_results(benchmark, report):
+    p = paper.p_per()
+    queries = {
+        "q_BON": (paper.q_bon(), {5: F(9, 10)}),
+        "v1_BON": (paper.v1_bon(), {5: F(3, 4)}),
+        "q_RBON": (paper.q_rbon(), {5: F(27, 40)}),
+        "v2_BON": (paper.v2_bon(), {5: F(1), 7: F(1)}),
+    }
+
+    def run():
+        return {name: query_answer(p, q) for name, (q, _) in queries.items()}
+
+    results = benchmark(run)
+    for name, (_, expected) in queries.items():
+        assert results[name] == expected
+    report.append(
+        "E3 Example 6: qBON={(n5,0.9)}, v1={(n5,0.75)}, "
+        "qRBON={(n5,0.675)}, v2={(n5,1),(n7,1)} — all exact"
+    )
+
+
+@pytest.mark.paper("Example 8 / Figure 4")
+def test_example8_view_extension(benchmark, report):
+    p = paper.p_per()
+    view = View("v1BON", paper.v1_bon())
+    ext = benchmark(probabilistic_extension, p, view)
+    assert ext.pdocument.name == "doc(v1BON)"
+    assert ext.selection == {5: F(3, 4)}
+    report.append(
+        "E4 Example 8: (P̂_PER)_v1BON has one bonus subtree at probability 0.75"
+    )

@@ -1,0 +1,72 @@
+"""E15: §7's cost claim — answering from views is no more expensive than
+direct evaluation, and intersection-only plans (product f_r, no compensation
+re-evaluation) are cheaper than the dynamic programming over the original
+p-document.
+
+The personnel family scales Figure 1/2's scenario; the three benchmark
+groups share workloads so their columns are directly comparable:
+
+* ``direct``      — ``q(P̂)`` on the original p-document;
+* ``via_plan``    — the single-view TP-rewriting evaluated on the extension;
+* ``product_fr``  — Theorem 3-style product over precomputed extensions
+  (the paper's "operations that should cost significantly less").
+"""
+
+import pytest
+
+from repro.prob import query_answer
+from repro.rewrite import probabilistic_tp_plan, tpi_rewrite
+from repro.views import probabilistic_extension
+from repro.workloads.synthetic import (
+    personnel_pdocument,
+    personnel_query,
+    personnel_views,
+)
+
+SIZES = [4, 8, 16]
+
+
+def _setup(persons: int):
+    p = personnel_pdocument(persons=persons, projects=3, seed=persons)
+    q = personnel_query("project0")
+    view = personnel_views()[0]
+    ext = probabilistic_extension(p, view)
+    plan = probabilistic_tp_plan(q, view)
+    assert plan is not None
+    return p, q, view, ext, plan
+
+
+@pytest.mark.paper("§7 cost claim — direct evaluation baseline")
+@pytest.mark.parametrize("persons", SIZES)
+def test_direct_evaluation(benchmark, report, persons):
+    p, q, _, _, _ = _setup(persons)
+    answer = benchmark(query_answer, p, q)
+    report.append(f"E15 direct persons={persons}: {len(answer)} answers")
+
+
+@pytest.mark.paper("§7 cost claim — plan over the view extension")
+@pytest.mark.parametrize("persons", SIZES)
+def test_plan_evaluation(benchmark, report, persons):
+    p, q, _, ext, plan = _setup(persons)
+    answer = benchmark(plan.evaluate, ext)
+    assert answer == query_answer(p, q)  # exactness, not just speed
+    report.append(
+        f"E15 via-plan persons={persons}: exact, evaluated on the extension only"
+    )
+
+
+@pytest.mark.paper("§7 cost claim — intersection-only product f_r")
+@pytest.mark.parametrize("persons", SIZES)
+def test_product_fr_evaluation(benchmark, report, persons):
+    p = personnel_pdocument(persons=persons, projects=3, seed=persons)
+    q = personnel_query("project0")
+    views = personnel_views()
+    exts = {v.name: probabilistic_extension(p, v) for v in views}
+    plan = tpi_rewrite(q, views, exts)
+    assert plan is not None
+    answer = benchmark(plan.evaluate)
+    assert answer == query_answer(p, q)
+    report.append(
+        f"E15 product-f_r persons={persons}: exact; probability retrieval is "
+        "arithmetic over stored view probabilities"
+    )

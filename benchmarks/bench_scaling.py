@@ -1,0 +1,127 @@
+"""E10–E12, E14: the complexity claims, measured.
+
+* Proposition 4: ``TPrewrite`` is PTime in |q| and |V| — near-linear series.
+* Proposition 6 / Corollary 3: ``TPIrewrite`` stays fast on extended
+  skeletons; the equivalence-test step explodes on the adversarial family.
+* Corollary 2: the number of interleavings grows as k! on ``a//x_i//z``.
+* [22] (used throughout): probabilistic evaluation is PTime in data size and
+  exponential in query size.
+"""
+
+import pytest
+
+from repro.prob import query_answer
+from repro.pxml.builder import ind, ordinary, pdoc
+from repro.rewrite import tp_rewrite
+from repro.tp.parser import parse_pattern
+from repro.tpi import interleavings, is_extended_skeleton, tpi_equivalent_tp
+from repro.workloads.synthetic import (
+    adversarial_intersection,
+    chain_query,
+    prefix_views,
+)
+
+
+# ----------------------------------------------------------------------
+# E10: TPrewrite scaling (Proposition 4)
+# ----------------------------------------------------------------------
+@pytest.mark.paper("Proposition 4: TPrewrite is PTime")
+@pytest.mark.parametrize("length", [4, 8, 12, 16])
+def test_tprewrite_scaling_query_size(benchmark, report, length):
+    q = chain_query(length)
+    views = prefix_views(q)
+    plans = benchmark(tp_rewrite, q, views)
+    assert len(plans) == length  # every prefix view rewrites a chain query
+    report.append(
+        f"E10 TPrewrite |mb(q)|={length}, |V|={length}: {len(plans)} plans "
+        "(series should grow polynomially — see benchmark table)"
+    )
+
+
+# ----------------------------------------------------------------------
+# E11: TPIrewrite-style equivalence on extended skeletons vs adversarial
+# ----------------------------------------------------------------------
+@pytest.mark.paper("Corollary 3: extended skeletons stay tractable")
+@pytest.mark.parametrize("k", [2, 3, 4])
+def test_equivalence_on_extended_skeletons(benchmark, report, k):
+    # /-separated skeleton views: coalescing is forced, 1 interleaving.
+    q = chain_query(k + 1, predicate_every=1)
+    components = [q, q]
+    assert all(is_extended_skeleton(c) for c in components)
+    result = benchmark(tpi_equivalent_tp, components, q)
+    assert result
+    report.append(f"E11 skeleton equivalence k={k}: single interleaving, fast")
+
+
+@pytest.mark.paper("Corollary 2: equivalence blows up off the fragment")
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_equivalence_on_adversarial_family(benchmark, report, k):
+    components = adversarial_intersection(k)
+    target = parse_pattern(
+        "a//" + "//".join(f"x{i}" for i in range(1, k + 1)) + "//z"
+    )
+    result = benchmark(tpi_equivalent_tp, components, target)
+    assert not result  # only one ordering is contained in the target
+    report.append(
+        f"E12 adversarial equivalence k={k}: k! interleavings dominate runtime"
+    )
+
+
+# ----------------------------------------------------------------------
+# E12: interleaving counts (the k! series itself)
+# ----------------------------------------------------------------------
+@pytest.mark.paper("§5.1: interleavings are exponentially many")
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_interleaving_blowup(benchmark, report, k):
+    import math
+
+    components = adversarial_intersection(k)
+    result = benchmark(interleavings, components)
+    assert len(result) == math.factorial(k)
+    report.append(f"E12 interleavings k={k}: {len(result)} = {k}!")
+
+
+# ----------------------------------------------------------------------
+# E14: probabilistic evaluation — PTime in data, exponential in query
+# ----------------------------------------------------------------------
+def _chain_pdocument(depth: int):
+    """A deep chain a/m/m/.../m with an ind-gated target at the bottom."""
+    bottom = ordinary(depth + 1, "t")
+    current = ind(depth + 2, (bottom, "0.5"))
+    node = ordinary(depth, "m")
+    node.add_child(current)
+    for i in range(depth - 1, 0, -1):
+        parent = ordinary(i, "m", ind(10_000 + i, (ordinary(20_000 + i, "t"), "0.5")))
+        parent.add_child(node)
+        node = parent
+    return pdoc(ordinary(0, "a", node))
+
+
+@pytest.mark.paper("[22]: evaluation is PTime in data size")
+@pytest.mark.parametrize("depth", [8, 16, 32, 64])
+def test_eval_data_scaling(benchmark, report, depth):
+    p = _chain_pdocument(depth)
+    q = parse_pattern("a//m[t]//t")
+    answer = benchmark(query_answer, p, q)
+    assert answer  # the bottom target is reachable with positive probability
+    report.append(
+        f"E14 evaluation at |P̂|~{p.size()}: see benchmark table "
+        "(series should be polynomial in depth)"
+    )
+
+
+@pytest.mark.paper("[22]: evaluation is exponential in query size")
+@pytest.mark.parametrize("width", [1, 2, 3, 4])
+def test_eval_query_scaling(benchmark, report, width):
+    children = [
+        ind(100 + i, (ordinary(200 + i, f"c{i}", ordinary(300 + i, "t")), "0.5"))
+        for i in range(width)
+    ]
+    p = pdoc(ordinary(0, "a", ordinary(1, "m", *children)))
+    predicates = "".join(f"[.//c{i}[t]]" for i in range(width))
+    q = parse_pattern(f"a//m{predicates}")
+    answer = benchmark(query_answer, p, q)
+    from fractions import Fraction
+
+    assert answer == {1: Fraction(1, 2) ** width}
+    report.append(f"E14 query width={width}: goal-set count grows with |q|")

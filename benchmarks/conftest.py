@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark *asserts* the paper's expected value (or expected behaviour)
+and then times the computation, so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction harness: the table printed by pytest-benchmark
+is the measured side of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper(artifact): links a benchmark to a paper artifact"
+    )
+
+
+@pytest.fixture(scope="session")
+def report(request):
+    """Collects paper-vs-measured lines; printed at the end of the session."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        terminal = request.config.pluginmanager.get_plugin("terminalreporter")
+        if terminal is not None:
+            terminal.write_line("")
+            terminal.write_line("=== paper-vs-measured ===")
+            for line in lines:
+                terminal.write_line(line)

@@ -1,0 +1,16 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+(no `wheel` package, so PEP 660 editable builds are unavailable)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Answering queries using views over probabilistic XML "
+        "(Cautis & Kharlamov, VLDB 2012) — full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,118 @@
+"""repro — Answering Queries using Views over Probabilistic XML.
+
+A complete, exact-arithmetic implementation of Cautis & Kharlamov,
+"Answering Queries using Views over Probabilistic XML: Complexity and
+Tractability", VLDB 2012 (PVLDB 5(11):1148-1159):
+
+* p-documents ``PrXML{mux, ind}`` and their possible-world semantics;
+* tree-pattern queries (TP) and intersections (TP∩) with containment,
+  equivalence, minimization, interleavings and extended skeletons;
+* exact probabilistic query evaluation (PTime in data complexity);
+* view extensions with persistent-identity markers;
+* probabilistic condition-independence (c-independence);
+* ``TPrewrite`` — single-view probabilistic rewritings (restricted and
+  unrestricted, Theorems 1-2);
+* ``TPIrewrite`` — multi-view rewritings via c-independent products
+  (Theorem 3), view decompositions and the exact ``S(q, V)`` linear system
+  (Theorem 5).
+
+Quickstart::
+
+    from repro import View, probabilistic_extension
+    from repro.workloads import paper
+    from repro.rewrite import probabilistic_tp_plan
+
+    p = paper.p_per()
+    view = View("v2BON", paper.v2_bon())
+    plan = probabilistic_tp_plan(paper.q_bon(), view)
+    answer = plan.evaluate(probabilistic_extension(p, view))
+"""
+
+from .errors import (
+    ReproError,
+    DocumentError,
+    PDocumentError,
+    PatternError,
+    PatternParseError,
+    CompensationError,
+    IntersectionError,
+    UnsatisfiableIntersectionError,
+    RewritingError,
+    NoRewritingError,
+    ProbabilityError,
+    LinearSystemError,
+)
+from .probability import as_probability, as_fraction, prob_str
+from .xml import Document, DocNode, doc, node
+from .pxml import (
+    PDocument,
+    PNode,
+    PNodeKind,
+    pdoc,
+    ordinary,
+    mux,
+    ind,
+    det,
+    enumerate_worlds,
+    sample_world,
+)
+from .tp import (
+    TreePattern,
+    PatternNode,
+    Axis,
+    parse_pattern,
+    evaluate,
+    contains,
+    equivalent,
+    minimize,
+)
+from .tpi import (
+    TPIntersection,
+    interleavings,
+    tpi_satisfiable,
+    tpi_equivalent_tp,
+    is_extended_skeleton,
+)
+from .prob import (
+    query_answer,
+    node_probability,
+    boolean_probability,
+    intersection_answer,
+)
+from .views import (
+    View,
+    probabilistic_extension,
+    deterministic_extension,
+    anchor_via_marker,
+)
+from .rewrite import (
+    c_independent,
+    tp_rewrite,
+    probabilistic_tp_plan,
+    theorem3_plan,
+    tpi_rewrite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError", "DocumentError", "PDocumentError", "PatternError",
+    "PatternParseError", "CompensationError", "IntersectionError",
+    "UnsatisfiableIntersectionError", "RewritingError", "NoRewritingError",
+    "ProbabilityError", "LinearSystemError",
+    "as_probability", "as_fraction", "prob_str",
+    "Document", "DocNode", "doc", "node",
+    "PDocument", "PNode", "PNodeKind", "pdoc", "ordinary", "mux", "ind",
+    "det", "enumerate_worlds", "sample_world",
+    "TreePattern", "PatternNode", "Axis", "parse_pattern", "evaluate",
+    "contains", "equivalent", "minimize",
+    "TPIntersection", "interleavings", "tpi_satisfiable",
+    "tpi_equivalent_tp", "is_extended_skeleton",
+    "query_answer", "node_probability", "boolean_probability",
+    "intersection_answer",
+    "View", "probabilistic_extension", "deterministic_extension",
+    "anchor_via_marker",
+    "c_independent", "tp_rewrite", "probabilistic_tp_plan",
+    "theorem3_plan", "tpi_rewrite",
+    "__version__",
+]

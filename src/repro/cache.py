@@ -1,0 +1,159 @@
+"""A view cache with automatic rewriting — the paper's optimization story.
+
+``RewritingCache`` materializes probabilistic view extensions once and then
+answers TP queries from the cache whenever the paper's machinery proves it
+possible, trying in order:
+
+1. single-view probabilistic TP-rewritings (``TPrewrite``, §4);
+2. multi-view TP∩-rewritings through the canonical plan and the ``S(q, V)``
+   system (``TPIrewrite``, §5);
+3. optionally, direct evaluation over the base p-document (disabled when
+   the cache is *strict*, e.g. when the base document is no longer
+   available — the situation Definition 4 models).
+
+Every answer records which strategy produced it, so the cache doubles as an
+instrument for the cost experiments in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Optional
+
+from .errors import NoRewritingError
+from .prob.evaluator import query_answer
+from .pxml.pdocument import PDocument
+from .rewrite.multi_view import tpi_rewrite
+from .rewrite.single_view import probabilistic_tp_plan
+from .tp.pattern import TreePattern
+from .views.extension import ProbabilisticViewExtension, probabilistic_extension
+from .views.view import View
+
+__all__ = ["AnswerSource", "CachedAnswer", "RewritingCache"]
+
+
+class AnswerSource(enum.Enum):
+    """How an answer was obtained."""
+
+    SINGLE_VIEW = "single-view rewriting"
+    MULTI_VIEW = "multi-view rewriting"
+    DIRECT = "direct evaluation"
+
+
+@dataclass
+class CachedAnswer:
+    """An answer together with its provenance."""
+
+    answer: dict[int, Fraction]
+    source: AnswerSource
+    plan_description: str = ""
+
+
+class RewritingCache:
+    """Materialized views over one p-document, with automatic rewriting.
+
+    Args:
+        p: the base p-document (kept only when ``strict`` is false).
+        strict: when true, queries that admit no probabilistic rewriting
+            raise :class:`NoRewritingError` instead of falling back to
+            direct evaluation — extensions are then the *only* data source,
+            exactly the access model of Definition 4.
+    """
+
+    def __init__(self, p: PDocument, strict: bool = False) -> None:
+        self._p: Optional[PDocument] = None if strict else p
+        self._build_source = p
+        self.strict = strict
+        self._views: dict[str, View] = {}
+        self._extensions: dict[str, ProbabilisticViewExtension] = {}
+
+    # ------------------------------------------------------------------
+    # View management
+    # ------------------------------------------------------------------
+    def materialize(self, view: View) -> ProbabilisticViewExtension:
+        """Evaluate the view over the base document and cache its extension."""
+        if view.name in self._views:
+            raise ValueError(f"view {view.name!r} is already materialized")
+        extension = probabilistic_extension(self._build_source, view)
+        self._views[view.name] = view
+        self._extensions[view.name] = extension
+        return extension
+
+    def views(self) -> list[View]:
+        return list(self._views.values())
+
+    def extension(self, name: str) -> ProbabilisticViewExtension:
+        return self._extensions[name]
+
+    def drop(self, name: str) -> None:
+        del self._views[name]
+        del self._extensions[name]
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+    def answer(self, q: TreePattern) -> CachedAnswer:
+        """Answer ``q`` from the cache, falling back per the cache policy.
+
+        Raises:
+            NoRewritingError: in strict mode, when no rewriting exists.
+        """
+        single = self._try_single_view(q)
+        if single is not None:
+            return single
+        multi = self._try_multi_view(q)
+        if multi is not None:
+            return multi
+        if self._p is None:
+            raise NoRewritingError(
+                f"no probabilistic rewriting of {q.xpath()} over "
+                f"{sorted(self._views)} and the cache is strict"
+            )
+        return CachedAnswer(
+            answer=query_answer(self._p, q),
+            source=AnswerSource.DIRECT,
+            plan_description="evaluated on the base p-document",
+        )
+
+    def answerable(self, q: TreePattern) -> bool:
+        """Decision only: can ``q`` be answered from the extensions alone?"""
+        if self._try_single_view(q, decide_only=True) is not None:
+            return True
+        return self._try_multi_view(q, decide_only=True) is not None
+
+    # ------------------------------------------------------------------
+    # Strategies
+    # ------------------------------------------------------------------
+    def _try_single_view(
+        self, q: TreePattern, decide_only: bool = False
+    ) -> Optional[CachedAnswer]:
+        for view in self._views.values():
+            plan = probabilistic_tp_plan(q, view)
+            if plan is None:
+                continue
+            if decide_only:
+                return CachedAnswer({}, AnswerSource.SINGLE_VIEW, plan.describe())
+            return CachedAnswer(
+                answer=plan.evaluate(self._extensions[view.name]),
+                source=AnswerSource.SINGLE_VIEW,
+                plan_description=plan.describe(),
+            )
+        return None
+
+    def _try_multi_view(
+        self, q: TreePattern, decide_only: bool = False
+    ) -> Optional[CachedAnswer]:
+        if not self._views:
+            return None
+        plan = tpi_rewrite(q, list(self._views.values()), self._extensions)
+        if plan is None:
+            return None
+        if decide_only:
+            return CachedAnswer({}, AnswerSource.MULTI_VIEW, plan.description)
+        return CachedAnswer(
+            answer=plan.evaluate(),
+            source=AnswerSource.MULTI_VIEW,
+            plan_description=plan.description,
+        )

@@ -1,0 +1,157 @@
+"""Command-line interface: evaluate, rewrite, and inspect p-documents.
+
+Examples::
+
+    python -m repro demo                       # reproduce paper examples
+    python -m repro eval  doc.pxml "a/b[c]"    # probabilistic evaluation
+    python -m repro worlds doc.pxml            # enumerate possible worlds
+    python -m repro rewrite doc.pxml "a/b[c]" --view "a/b" --view "a//b"
+    python -m repro skeleton "a[b//c]/d//e"    # extended-skeleton check
+
+P-documents are read in the indented text format of
+:mod:`repro.pxml.serialize` (see ``pdocument_to_text``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .probability import prob_str
+from .prob.evaluator import query_answer
+from .pxml.serialize import pdocument_from_text, pdocument_to_text
+from .pxml.worlds import enumerate_worlds
+from .rewrite.single_view import probabilistic_tp_plan
+from .tp.parser import parse_pattern
+from .tpi.skeleton import is_extended_skeleton
+from .views.extension import probabilistic_extension
+from .views.view import View
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    return pdocument_from_text(Path(path).read_text(encoding="utf-8"))
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    p = _load(args.document)
+    q = parse_pattern(args.query)
+    answer = query_answer(p, q)
+    if not answer:
+        print("no answers with positive probability")
+        return 0
+    for node_id, probability in sorted(answer.items()):
+        print(f"node {node_id}\tPr = {prob_str(probability)}")
+    return 0
+
+
+def _cmd_worlds(args: argparse.Namespace) -> int:
+    p = _load(args.document)
+    worlds = enumerate_worlds(p)
+    worlds.sort(key=lambda pair: (-pair[1], sorted(pair[0].node_ids())))
+    for world, probability in worlds[: args.limit]:
+        ids = ",".join(map(str, sorted(world.node_ids())))
+        print(f"Pr = {prob_str(probability)}\tnodes = {{{ids}}}")
+    if len(worlds) > args.limit:
+        print(f"... and {len(worlds) - args.limit} more worlds")
+    return 0
+
+
+def _cmd_rewrite(args: argparse.Namespace) -> int:
+    p = _load(args.document)
+    q = parse_pattern(args.query)
+    exit_code = 1
+    for index, text in enumerate(args.view, start=1):
+        view = View(f"v{index}", parse_pattern(text))
+        plan = probabilistic_tp_plan(q, view)
+        if plan is None:
+            print(f"{text}: no probabilistic TP-rewriting")
+            continue
+        exit_code = 0
+        kind = "restricted" if plan.restricted else "unrestricted"
+        print(f"{text}: {kind} rewriting (k={plan.k}, u={plan.u})")
+        if args.evaluate:
+            extension = probabilistic_extension(p, view)
+            for node_id, probability in sorted(plan.evaluate(extension).items()):
+                print(f"  node {node_id}\tPr = {prob_str(probability)}")
+    return exit_code
+
+
+def _cmd_skeleton(args: argparse.Namespace) -> int:
+    q = parse_pattern(args.query)
+    verdict = is_extended_skeleton(q)
+    print("extended skeleton" if verdict else "not an extended skeleton")
+    return 0 if verdict else 1
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(pdocument_to_text(_load(args.document)), end="")
+    return 0
+
+
+def _cmd_demo(_: argparse.Namespace) -> int:
+    from .workloads import paper
+
+    p = paper.p_per()
+    print("Figure 2 p-document P̂_PER:")
+    print(pdocument_to_text(p))
+    for name, q in [
+        ("q_BON ", paper.q_bon()),
+        ("v1_BON", paper.v1_bon()),
+        ("q_RBON", paper.q_rbon()),
+        ("v2_BON", paper.v2_bon()),
+    ]:
+        answer = {n: prob_str(pr) for n, pr in query_answer(p, q).items()}
+        print(f"{name} = {q.xpath()}\n        -> {answer}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Answering queries using views over probabilistic XML "
+        "(Cautis & Kharlamov, VLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_eval = sub.add_parser("eval", help="evaluate a TP query over a p-document")
+    p_eval.add_argument("document")
+    p_eval.add_argument("query")
+    p_eval.set_defaults(func=_cmd_eval)
+
+    p_worlds = sub.add_parser("worlds", help="enumerate possible worlds")
+    p_worlds.add_argument("document")
+    p_worlds.add_argument("--limit", type=int, default=20)
+    p_worlds.set_defaults(func=_cmd_worlds)
+
+    p_rw = sub.add_parser("rewrite", help="decide/evaluate TP-rewritings")
+    p_rw.add_argument("document")
+    p_rw.add_argument("query")
+    p_rw.add_argument("--view", action="append", required=True,
+                      help="view definition (repeatable)")
+    p_rw.add_argument("--evaluate", action="store_true",
+                      help="also evaluate the plans over the extensions")
+    p_rw.set_defaults(func=_cmd_rewrite)
+
+    p_skel = sub.add_parser("skeleton", help="extended-skeleton check")
+    p_skel.add_argument("query")
+    p_skel.set_defaults(func=_cmd_skeleton)
+
+    p_show = sub.add_parser("show", help="pretty-print a p-document file")
+    p_show.add_argument("document")
+    p_show.set_defaults(func=_cmd_show)
+
+    p_demo = sub.add_parser("demo", help="reproduce the paper's examples")
+    p_demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

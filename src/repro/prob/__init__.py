@@ -1,0 +1,36 @@
+"""Exact probabilistic query evaluation over p-documents.
+
+``evaluator`` is the production path: a dynamic program that is polynomial in
+the size of the p-document (data complexity) for fixed queries — matching the
+tractability statement of [22] that the paper builds on — and supports both
+TP and TP∩ queries, plus node anchors.  ``bruteforce`` enumerates the
+px-space and is the reference semantics used by tests.
+"""
+
+from .evaluator import (
+    ProbEvaluator,
+    query_answer,
+    boolean_probability,
+    node_probability,
+    conditional_node_probability,
+    intersection_answer,
+    intersection_node_probability,
+)
+from .bruteforce import (
+    brute_force_query_answer,
+    brute_force_node_probability,
+    brute_force_boolean_probability,
+)
+
+__all__ = [
+    "ProbEvaluator",
+    "query_answer",
+    "boolean_probability",
+    "node_probability",
+    "conditional_node_probability",
+    "intersection_answer",
+    "intersection_node_probability",
+    "brute_force_query_answer",
+    "brute_force_node_probability",
+    "brute_force_boolean_probability",
+]

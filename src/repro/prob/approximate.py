@@ -1,0 +1,79 @@
+"""Monte-Carlo approximation of query probabilities.
+
+The paper's §6 points to approximate processors for probabilistic XML
+([22]'s additive approximation, ProApproX [33]).  This module provides the
+standard sampling estimator with Hoeffding-style additive guarantees: with
+``samples ≥ ln(2/δ) / (2 ε²)`` draws, each estimate is within ``ε`` of
+``Pr(n ∈ q(P))`` with probability at least ``1 − δ``.
+
+Useful when exact evaluation is too expensive (the DP is exponential in
+query size in the worst case) and in tests as an independent oracle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional, Sequence
+
+from ..pxml.pdocument import PDocument
+from ..pxml.worlds import sample_world
+from ..tp.embedding import evaluate as evaluate_deterministic, has_embedding
+from ..tp.pattern import TreePattern
+
+__all__ = [
+    "samples_for_guarantee",
+    "approximate_node_probability",
+    "approximate_query_answer",
+]
+
+
+def samples_for_guarantee(epsilon: float, delta: float) -> int:
+    """Hoeffding sample size for additive error ``ε`` at confidence ``1−δ``."""
+    if not 0 < epsilon < 1 or not 0 < delta < 1:
+        raise ValueError("epsilon and delta must lie strictly between 0 and 1")
+    return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def approximate_node_probability(
+    p: PDocument,
+    q: TreePattern,
+    node_id: int,
+    samples: int = 1000,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Estimate ``Pr(n ∈ q(P))`` by sampling possible worlds."""
+    rng = rng or random.Random()
+    anchors = {id(q.out): node_id}
+    hits = 0
+    for _ in range(samples):
+        world = sample_world(p, rng)
+        if has_embedding(q, world, anchors):
+            hits += 1
+    return hits / samples
+
+
+def approximate_query_answer(
+    p: PDocument,
+    q: TreePattern,
+    samples: int = 1000,
+    rng: Optional[random.Random] = None,
+    queries: Optional[Sequence[TreePattern]] = None,
+) -> dict[int, float]:
+    """Estimate ``q(P̂)`` (or an intersection) with one world per sample.
+
+    Sharing worlds across candidate nodes keeps the cost at one evaluation
+    per sample rather than one per (sample, node) pair.
+    """
+    rng = rng or random.Random()
+    patterns = list(queries) if queries is not None else [q]
+    counts: dict[int, int] = {}
+    for _ in range(samples):
+        world = sample_world(p, rng)
+        selected: Optional[set[int]] = None
+        for pattern in patterns:
+            result = evaluate_deterministic(pattern, world)
+            selected = result if selected is None else selected & result
+        for node_id in selected or ():
+            counts[node_id] = counts.get(node_id, 0) + 1
+    return {node_id: hits / samples for node_id, hits in counts.items()}

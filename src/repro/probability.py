@@ -1,0 +1,80 @@
+"""Exact probability arithmetic helpers.
+
+All probabilities inside the library are :class:`fractions.Fraction` values so
+that the worked examples of the paper (0.4725, 0.325, 0.288, ...) are
+reproduced *exactly*.  The public API accepts ``float``, ``int``, ``str``,
+``Decimal`` or ``Fraction`` and converts decimal-faithfully: a float such as
+``0.1`` is interpreted as the decimal literal ``1/10`` (via ``str``), not as
+its binary expansion.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from fractions import Fraction
+from typing import Union
+
+from .errors import ProbabilityError
+
+__all__ = ["Probability", "ProbabilityLike", "as_probability", "as_fraction", "prob_str"]
+
+#: The internal representation of probabilities.
+Probability = Fraction
+
+#: Anything the public API accepts where a probability is expected.
+ProbabilityLike = Union[Fraction, float, int, str, Decimal]
+
+ZERO = Fraction(0)
+ONE = Fraction(1)
+
+
+def as_fraction(value: ProbabilityLike) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction`.
+
+    Floats are converted through their ``repr`` so that ``0.1`` becomes
+    ``1/10`` rather than ``3602879701896397/36028797018963968``.
+
+    >>> as_fraction(0.75)
+    Fraction(3, 4)
+    >>> as_fraction("0.1")
+    Fraction(1, 10)
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise ProbabilityError(f"booleans are not probabilities: {value!r}")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(repr(value))
+    if isinstance(value, (str, Decimal)):
+        return Fraction(str(value))
+    raise ProbabilityError(f"cannot interpret {value!r} as a probability")
+
+
+def as_probability(value: ProbabilityLike) -> Fraction:
+    """Convert ``value`` to an exact :class:`Fraction` in ``[0, 1]``.
+
+    Raises:
+        ProbabilityError: if the converted value lies outside ``[0, 1]``.
+    """
+    frac = as_fraction(value)
+    if frac < ZERO or frac > ONE:
+        raise ProbabilityError(f"probability out of range [0, 1]: {frac}")
+    return frac
+
+
+def prob_str(value: Fraction, digits: int = 6) -> str:
+    """Human-friendly rendering of an exact probability.
+
+    Shows the exact decimal when it terminates within ``digits`` digits,
+    otherwise the fraction followed by a float approximation.
+
+    >>> prob_str(Fraction(189, 400))
+    '0.4725'
+    """
+    scaled = value * 10**digits
+    if scaled.denominator == 1:
+        text = f"{float(value):.{digits}f}".rstrip("0")
+        return text + "0" if text.endswith(".") else text
+    return f"{value} (~{float(value):.6g})"

@@ -1,0 +1,21 @@
+"""Probabilistic XML substrate: p-documents PrXML{mux,ind} (paper §2, Def. 1)."""
+
+from .pdocument import PNode, PNodeKind, PDocument
+from .builder import ordinary, mux, ind, det, pdoc
+from .worlds import enumerate_worlds, sample_world, world_probability
+from .serialize import pdocument_to_text
+
+__all__ = [
+    "PNode",
+    "PNodeKind",
+    "PDocument",
+    "ordinary",
+    "mux",
+    "ind",
+    "det",
+    "pdoc",
+    "enumerate_worlds",
+    "sample_world",
+    "world_probability",
+    "pdocument_to_text",
+]

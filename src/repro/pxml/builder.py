@@ -1,0 +1,68 @@
+"""Concise builders for p-documents, mirroring the paper's figures.
+
+Example (a fragment of Figure 2)::
+
+    p = pdoc(
+        ordinary(1, "IT-personnel",
+                 mux(11, (ordinary(2, "person", ...), 0.75),
+                         (ordinary(13, "John"), 0.25)))
+    )
+
+Distributional children are given as ``(subtree, probability)`` pairs; any
+:class:`~repro.probability.ProbabilityLike` value is accepted and converted
+exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..probability import ProbabilityLike, as_probability
+from .pdocument import PDocument, PNode, PNodeKind
+
+__all__ = ["ordinary", "mux", "ind", "det", "pdoc"]
+
+_auto_ids = itertools.count(-1_000_001, -1)
+
+
+def _new_id(node_id: int | None) -> int:
+    return next(_auto_ids) if node_id is None else node_id
+
+
+def ordinary(node_id: int | None, label: str, *children: PNode) -> PNode:
+    """An ordinary (L-labeled) node with already-built children."""
+    built = PNode(_new_id(node_id), PNodeKind.ORDINARY, label)
+    for child in children:
+        built.add_child(child)
+    return built
+
+
+def _distributional(
+    kind: PNodeKind,
+    node_id: int | None,
+    choices: tuple[tuple[PNode, ProbabilityLike], ...],
+) -> PNode:
+    built = PNode(_new_id(node_id), kind)
+    for child, probability in choices:
+        built.add_child(child, as_probability(probability))
+    return built
+
+
+def mux(node_id: int | None, *choices: tuple[PNode, ProbabilityLike]) -> PNode:
+    """A ``mux`` node: selects at most one child (probabilities sum ≤ 1)."""
+    return _distributional(PNodeKind.MUX, node_id, choices)
+
+
+def ind(node_id: int | None, *choices: tuple[PNode, ProbabilityLike]) -> PNode:
+    """An ``ind`` node: selects each child independently."""
+    return _distributional(PNodeKind.IND, node_id, choices)
+
+
+def det(node_id: int | None, *children: PNode) -> PNode:
+    """A ``det`` node of [2]: all children kept — an ``ind`` with probability 1."""
+    return _distributional(PNodeKind.IND, node_id, tuple((c, 1) for c in children))
+
+
+def pdoc(root: PNode) -> PDocument:
+    """Wrap a built tree into a validated :class:`PDocument`."""
+    return PDocument(root)

@@ -1,0 +1,298 @@
+"""p-Documents: compact representations of px-spaces (paper §2, Definition 1).
+
+A p-document is an unranked, unordered tree with *ordinary* nodes (labeled,
+as in documents) and *distributional* nodes of kinds ``mux`` (mutually
+exclusive choice of at most one child) and ``ind`` (independent choice of any
+subset of children).  The root and all leaves must be ordinary.  ``det``
+nodes of [2] are representable as ``ind`` nodes whose children all carry
+probability 1 (see :func:`repro.pxml.builder.det`).
+
+The semantics ``⟦P̂⟧`` — a finite probability space of documents — is
+materialized by :mod:`repro.pxml.worlds`.
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Iterable, Iterator, Optional
+
+from ..errors import PDocumentError
+from ..probability import ONE, ZERO
+from ..xml.document import DocNode, Document
+
+__all__ = ["PNodeKind", "PNode", "PDocument"]
+
+
+class PNodeKind(enum.Enum):
+    ORDINARY = "ordinary"
+    MUX = "mux"
+    IND = "ind"
+
+
+class PNode:
+    """A node of a p-document.
+
+    Attributes:
+        node_id: unique integer Id.
+        kind: ordinary / mux / ind.
+        label: the label for ordinary nodes (``None`` for distributional).
+        children: child nodes.
+        probabilities: for distributional nodes, maps a child's ``node_id``
+            to the probability ``Pr_n(child)``; ``None`` for ordinary nodes.
+        parent: parent node or ``None`` for the root.
+    """
+
+    __slots__ = ("node_id", "kind", "label", "children", "probabilities", "parent")
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: PNodeKind,
+        label: Optional[str] = None,
+    ) -> None:
+        self.node_id = int(node_id)
+        self.kind = kind
+        self.label = label
+        self.children: list[PNode] = []
+        self.probabilities: Optional[dict[int, Fraction]] = (
+            None if kind is PNodeKind.ORDINARY else {}
+        )
+        self.parent: Optional[PNode] = None
+
+    @property
+    def is_ordinary(self) -> bool:
+        return self.kind is PNodeKind.ORDINARY
+
+    @property
+    def is_distributional(self) -> bool:
+        return not self.is_ordinary
+
+    def add_child(self, child: "PNode", probability: Optional[Fraction] = None) -> "PNode":
+        """Attach ``child``; distributional parents require a probability."""
+        if self.is_distributional:
+            if probability is None:
+                raise PDocumentError(
+                    f"child of {self.kind.value} node {self.node_id} needs a probability"
+                )
+            assert self.probabilities is not None
+            self.probabilities[child.node_id] = probability
+        elif probability is not None:
+            raise PDocumentError(
+                f"child of ordinary node {self.node_id} must not carry a probability"
+            )
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def child_probability(self, child: "PNode") -> Fraction:
+        if self.probabilities is None:
+            raise PDocumentError(f"node {self.node_id} is not distributional")
+        return self.probabilities[child.node_id]
+
+    def iter_subtree(self) -> Iterator["PNode"]:
+        stack = [self]
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(current.children)
+
+    def __repr__(self) -> str:
+        if self.is_ordinary:
+            return f"PNode(id={self.node_id}, label={self.label!r})"
+        return f"PNode(id={self.node_id}, kind={self.kind.value})"
+
+
+class PDocument:
+    """A validated p-document (Definition 1)."""
+
+    def __init__(self, root: PNode) -> None:
+        self.root = root
+        self._index: dict[int, PNode] = {}
+        for n in root.iter_subtree():
+            if n.node_id in self._index:
+                raise PDocumentError(f"duplicate node Id {n.node_id}")
+            self._index[n.node_id] = n
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.root.is_ordinary:
+            raise PDocumentError("the root must be an ordinary (L-labeled) node")
+        for n in self.nodes():
+            if n.is_ordinary:
+                if n.label is None:
+                    raise PDocumentError(f"ordinary node {n.node_id} lacks a label")
+                continue
+            if not n.children:
+                raise PDocumentError(
+                    f"distributional node {n.node_id} is a leaf; leaves must be ordinary"
+                )
+            assert n.probabilities is not None
+            total = ZERO
+            for child in n.children:
+                p = n.probabilities[child.node_id]
+                if p < ZERO or p > ONE:
+                    raise PDocumentError(
+                        f"probability {p} of child {child.node_id} out of [0, 1]"
+                    )
+                total += p
+            if n.kind is PNodeKind.MUX and total > ONE:
+                raise PDocumentError(
+                    f"mux node {n.node_id}: child probabilities sum to {total} > 1"
+                )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        assert self.root.label is not None
+        return self.root.label
+
+    def node(self, node_id: int) -> PNode:
+        try:
+            return self._index[node_id]
+        except KeyError:
+            raise PDocumentError(f"no node with Id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._index
+
+    def nodes(self) -> Iterable[PNode]:
+        return self._index.values()
+
+    def ordinary_nodes(self) -> list[PNode]:
+        return [n for n in self.nodes() if n.is_ordinary]
+
+    def distributional_nodes(self) -> list[PNode]:
+        return [n for n in self.nodes() if n.is_distributional]
+
+    def size(self) -> int:
+        return len(self._index)
+
+    # ------------------------------------------------------------------
+    # Probabilistic structure
+    # ------------------------------------------------------------------
+    def appearance_probability(self, node_id: int) -> Fraction:
+        """``Pr(n ∈ P)``: the probability that node ``n`` survives a run.
+
+        Equals the product, over the distributional ancestors of ``n``, of the
+        probability of the child lying on the path to ``n``.
+        """
+        n = self.node(node_id)
+        probability = ONE
+        current = n
+        while current.parent is not None:
+            parent = current.parent
+            if parent.is_distributional:
+                probability *= parent.child_probability(current)
+            current = parent
+        return probability
+
+    def ancestors_or_self_ordinary(self, node_id: int) -> list[PNode]:
+        """Ordinary ancestors of ``n`` (including ``n``), root last."""
+        result = []
+        current: Optional[PNode] = self.node(node_id)
+        while current is not None:
+            if current.is_ordinary:
+                result.append(current)
+            current = current.parent
+        return result
+
+    def is_ancestor_or_self(self, ancestor_id: int, node_id: int) -> bool:
+        current: Optional[PNode] = self.node(node_id)
+        while current is not None:
+            if current.node_id == ancestor_id:
+                return True
+            current = current.parent
+        return False
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def subdocument(self, node_id: int) -> "PDocument":
+        """``P̂_n``: the p-subdocument rooted at ``n`` (Ids preserved)."""
+
+        def copy(source: PNode) -> PNode:
+            duplicate = PNode(source.node_id, source.kind, source.label)
+            for child in source.children:
+                probability = (
+                    source.probabilities[child.node_id]
+                    if source.probabilities is not None
+                    else None
+                )
+                duplicate.add_child(copy(child), probability)
+            return duplicate
+
+        n = self.node(node_id)
+        if not n.is_ordinary:
+            raise PDocumentError("p-subdocuments are rooted at ordinary nodes")
+        return PDocument(copy(n))
+
+    def max_world(self) -> Document:
+        """The document keeping *every* ordinary node (distributional nodes
+        contracted).  Useful as a superset of every possible world — e.g. for
+        candidate generation during query evaluation."""
+
+        def build(source: PNode) -> DocNode:
+            assert source.label is not None
+            doc_node = DocNode(source.node_id, source.label)
+            for effective in self.effective_children(source):
+                doc_node.add_child(build(effective))
+            return doc_node
+
+        return Document(build(self.root))
+
+    def effective_children(self, n: PNode) -> list[PNode]:
+        """Ordinary nodes reachable from ``n`` through distributional chains.
+
+        These are exactly the nodes that *can* become children of ``n`` in a
+        possible world.
+        """
+        result: list[PNode] = []
+        stack = list(n.children)
+        while stack:
+            current = stack.pop()
+            if current.is_ordinary:
+                result.append(current)
+            else:
+                stack.extend(current.children)
+        return result
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def canonical_key(self, with_ids: bool = True) -> tuple:
+        """Order-insensitive canonical form of the p-document.
+
+        Two p-documents with equal keys define identical px-spaces; with
+        ``with_ids=False``, identical up to a renaming of node Ids.
+        """
+
+        def key(n: PNode, edge_probability: Optional[Fraction]) -> tuple:
+            children = tuple(
+                sorted(
+                    key(
+                        c,
+                        n.probabilities[c.node_id]
+                        if n.probabilities is not None
+                        else None,
+                    )
+                    for c in n.children
+                )
+            )
+            identity: tuple = (n.node_id,) if with_ids else ()
+            return identity + (n.kind.value, n.label, edge_probability, children)
+
+        return key(self.root, None)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PDocument):
+            return NotImplemented
+        return self.canonical_key() == other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_key())
+
+    def __repr__(self) -> str:
+        return f"PDocument(name={self.name!r}, size={self.size()})"

@@ -1,0 +1,44 @@
+"""The paper's contribution: probabilistic view-based rewriting (§4, §5)."""
+
+from .cindep import c_independent, c_independent_empirical
+from .plans import TPRewritePlan, TPIRewritePlan
+from .single_view import (
+    tp_rewrite,
+    find_deterministic_tp_rewriting,
+    probabilistic_tp_plan,
+    fact1_holds,
+    fact1_reformulation_holds,
+)
+from .multi_view import (
+    theorem3_plan,
+    find_c_independent_subset,
+    tpi_rewrite,
+    canonical_plan_views,
+    appearance_view_exists,
+)
+from .decomposition import decompose_views, decompose_pattern, DViewSystem
+from .linsys import ExactLinearSystem, solve_exact, exact_power, exact_root
+
+__all__ = [
+    "c_independent",
+    "c_independent_empirical",
+    "TPRewritePlan",
+    "TPIRewritePlan",
+    "tp_rewrite",
+    "find_deterministic_tp_rewriting",
+    "probabilistic_tp_plan",
+    "fact1_holds",
+    "fact1_reformulation_holds",
+    "theorem3_plan",
+    "find_c_independent_subset",
+    "tpi_rewrite",
+    "canonical_plan_views",
+    "appearance_view_exists",
+    "decompose_views",
+    "decompose_pattern",
+    "DViewSystem",
+    "ExactLinearSystem",
+    "solve_exact",
+    "exact_power",
+    "exact_root",
+]

@@ -1,0 +1,199 @@
+"""View decompositions into pairwise c-independent d-views (§5.3, Steps 1–4).
+
+Each view ``v_i = ft_i // m_i // lt_i`` is decomposed into queries whose
+match probabilities (conditioned on ``n ∈ P``) are mutually independent:
+
+1. one query per main-branch node of the first and last token, keeping only
+   that node's predicates, plus one *bulk* query keeping only the middle
+   part's predicates (middle predicates cannot be attributed to unambiguous
+   path positions, so they stay together);
+2. queries of the same view that are **not** c-independent are repeatedly
+   merged (an intersection that reduces trivially to a TP query: the
+   operands share the view's main branch, so predicates are simply pooled);
+3. every query is intersected with the linear query ``mb(q)`` — making the
+   spine explicit lets the same variable be shared across views with
+   different main branches;
+4. queries are grouped into equivalence classes across all views; each class
+   becomes one *d-view* variable of the ``S(q, V)`` system.
+
+The d-view *identity* (equivalence) is computed on the step-3 intersections,
+which may be proper TP∩ queries: two TP∩ queries are equivalent iff their
+sets of maximal interleavings coincide up to equivalence, which we canonize
+by minimizing each maximal interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..errors import RewritingError
+from ..probability import ONE
+from ..tp import ops
+from ..tp.containment import contains
+from ..tp.minimize import minimize
+from ..tp.pattern import PatternNode, TreePattern
+from ..tpi.interleave import interleavings
+from .cindep import c_independent
+from .linsys import ExactLinearSystem
+
+__all__ = ["DViewSystem", "decompose_views", "decompose_pattern"]
+
+_APPEARANCE = "__appearance__"
+
+
+@dataclass
+class DViewSystem:
+    """The ``S(q, V)`` system: per-view d-view supports plus the query's.
+
+    ``supports[tag]`` maps each view tag (and the query tag ``"q"``) to the
+    set of d-view keys it decomposes into; the appearance variable
+    ``Pr(n ∈ P)`` implicitly joins every support with coefficient 1.
+    """
+
+    query_support: frozenset
+    view_supports: dict[str, frozenset]
+    dview_names: dict[frozenset, str]
+
+    def system(self) -> ExactLinearSystem:
+        variables = sorted({key for support in self.view_supports.values() for key in support}
+                           | set(self.query_support), key=repr)
+        system = ExactLinearSystem([repr(v) for v in variables] + [_APPEARANCE])
+        for tag, support in self.view_supports.items():
+            row = {repr(key): Fraction(1) for key in support}
+            row[_APPEARANCE] = Fraction(1)
+            system.add_row(tag, row)
+        return system
+
+    def certificate(self) -> dict[str, Fraction] | None:
+        """Coefficients ``c_i`` with ``Σ c_i · row_i = query row``, if any."""
+        target = {repr(key): Fraction(1) for key in self.query_support}
+        target[_APPEARANCE] = Fraction(1)
+        return self.system().certificate(target)
+
+    def solvable(self) -> bool:
+        return self.certificate() is not None
+
+
+def decompose_views(
+    q: TreePattern, tagged_views: Sequence[tuple[str, TreePattern]]
+) -> DViewSystem:
+    """Build the ``S(q, V)`` structure for a query and tagged view patterns."""
+    mb_q = ops.mb_pattern(q)
+    names: dict[frozenset, str] = {}
+    query_support = frozenset(decompose_pattern(q, mb_q))
+    view_supports: dict[str, frozenset] = {}
+    for tag, pattern in tagged_views:
+        view_supports[tag] = frozenset(decompose_pattern(pattern, mb_q))
+    for index, key in enumerate(
+        sorted(set().union(query_support, *view_supports.values()), key=repr)
+    ):
+        names[key] = f"w{index + 1}"
+    return DViewSystem(query_support, view_supports, names)
+
+
+def decompose_pattern(v: TreePattern, mb_q: TreePattern) -> list:
+    """Steps 1–3 for a single pattern; returns canonical d-view keys."""
+    units = _step1_units(v)
+    units = _step2_merge(v, units)
+    keys = []
+    for unit in units:
+        materialized = _materialize(v, unit)
+        keys.append(_step3_key(materialized, mb_q))
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Step 1: per-node / bulk units
+# ----------------------------------------------------------------------
+def _step1_units(v: TreePattern) -> list[frozenset[int]]:
+    """Units as sets of main-branch indices whose predicates are kept."""
+    token_list = ops.tokens(v)
+    branch_length = v.main_branch_length()
+    first_len = token_list[0].main_branch_length()
+    last_len = token_list[-1].main_branch_length() if len(token_list) > 1 else 0
+    units: list[frozenset[int]] = []
+    for index in range(first_len):
+        units.append(frozenset([index]))
+    for index in range(branch_length - last_len, branch_length):
+        units.append(frozenset([index]))
+    middle = frozenset(range(first_len, branch_length - last_len))
+    if middle:
+        units.append(middle)
+    return units
+
+
+# ----------------------------------------------------------------------
+# Step 2: merge probabilistically dependent units of the same view
+# ----------------------------------------------------------------------
+def _step2_merge(v: TreePattern, units: list[frozenset[int]]) -> list[frozenset[int]]:
+    current = list(dict.fromkeys(units))
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                if current[i] == current[j]:
+                    merged = current[i]
+                elif c_independent(
+                    _materialize(v, current[i]), _materialize(v, current[j])
+                ):
+                    continue
+                else:
+                    merged = current[i] | current[j]
+                rest = [
+                    unit
+                    for index, unit in enumerate(current)
+                    if index not in (i, j)
+                ]
+                current = rest + [merged]
+                changed = True
+                break
+            if changed:
+                break
+    return current
+
+
+def _materialize(v: TreePattern, unit: frozenset[int]) -> TreePattern:
+    """The view with predicates kept only on the unit's main-branch nodes."""
+    copied, mapping = v.copy_with_mapping()
+    branch = v.main_branch()
+    branch_copy_ids = {id(mapping[id(node)]) for node in branch}
+    for index, node in enumerate(branch):
+        if index in unit:
+            continue
+        holder = mapping[id(node)]
+        for child in list(holder.children):
+            if id(child) not in branch_copy_ids:
+                holder.remove_child(child)
+    return TreePattern(copied.root, mapping[id(v.out)])
+
+
+# ----------------------------------------------------------------------
+# Step 3 + 4: intersect with mb(q), canonical identity
+# ----------------------------------------------------------------------
+def _step3_key(w: TreePattern, mb_q: TreePattern):
+    """Canonical key of ``w ∩ mb(q)`` (a TP∩ query in general).
+
+    The union of interleavings is canonized by its maximal elements, each
+    minimized; equal keys ⇔ equivalent d-views (Step 4's grouping).
+    """
+    candidates = interleavings([w, mb_q])
+    if not candidates:
+        raise RewritingError(
+            f"d-view {w.xpath()} is incompatible with mb(q); "
+            "the view cannot participate in a rewriting of q"
+        )
+    maximal = [
+        candidate
+        for candidate in candidates
+        if not any(
+            other is not candidate
+            and contains(other, candidate)
+            and not contains(candidate, other)
+            for other in candidates
+        )
+    ]
+    keys = {minimize(candidate).canonical_key() for candidate in maximal}
+    return frozenset(keys)

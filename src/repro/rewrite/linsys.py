@@ -1,0 +1,171 @@
+"""Exact rational linear algebra for the ``S(q, V)`` systems (§5.3).
+
+The logarithm of each view equation (6) is linear over the variables
+``{log x_j} ∪ {log Pr(n ∈ P)}`` with 0/1 coefficients.  ``Pr(n ∈ q(P))`` is
+computable iff the query row (7) lies in the row space of the view rows; the
+certificate ``c`` (``Σ_i c_i · row_i = query row``) then gives
+``f_r(n) = Π_i Pr(n ∈ v_i(P))^{c_i}``.
+
+Everything is exact (`fractions.Fraction`); no floating point is involved in
+either the rank tests or the certificates.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..errors import LinearSystemError
+from ..probability import ONE, ZERO
+
+__all__ = ["ExactLinearSystem", "solve_exact", "exact_root", "exact_power"]
+
+
+def solve_exact(
+    rows: Sequence[Sequence[Fraction]], target: Sequence[Fraction]
+) -> Optional[list[Fraction]]:
+    """Solve ``A^T c = target`` exactly: coefficients expressing ``target``
+    as a linear combination of ``rows``.  Returns ``None`` when ``target``
+    is not in the row space.  Free variables are set to zero.
+    """
+    num_rows = len(rows)
+    if num_rows == 0:
+        return None
+    width = len(target)
+    if any(len(row) != width for row in rows):
+        raise LinearSystemError("ragged system")
+    # Augmented system over unknowns c_1..c_m: one equation per column.
+    matrix: list[list[Fraction]] = [
+        [Fraction(rows[i][col]) for i in range(num_rows)] + [Fraction(target[col])]
+        for col in range(width)
+    ]
+    pivots: list[tuple[int, int]] = []  # (equation row, unknown column)
+    row_index = 0
+    for col in range(num_rows):
+        pivot = next(
+            (r for r in range(row_index, width) if matrix[r][col] != ZERO), None
+        )
+        if pivot is None:
+            continue
+        matrix[row_index], matrix[pivot] = matrix[pivot], matrix[row_index]
+        head = matrix[row_index][col]
+        matrix[row_index] = [value / head for value in matrix[row_index]]
+        for r in range(width):
+            if r != row_index and matrix[r][col] != ZERO:
+                factor = matrix[r][col]
+                matrix[r] = [
+                    value - factor * base
+                    for value, base in zip(matrix[r], matrix[row_index])
+                ]
+        pivots.append((row_index, col))
+        row_index += 1
+    # Inconsistent ⇔ a zero row with non-zero right-hand side.
+    for r in range(row_index, width):
+        if all(value == ZERO for value in matrix[r][:num_rows]) and matrix[r][
+            num_rows
+        ] != ZERO:
+            return None
+    solution = [ZERO] * num_rows
+    for eq_row, col in pivots:
+        solution[col] = matrix[eq_row][num_rows]
+    return solution
+
+
+class ExactLinearSystem:
+    """A tagged exact linear system: rows carry identifiers (view names)."""
+
+    def __init__(self, variables: Sequence[str]) -> None:
+        self.variables = list(variables)
+        self._index = {name: i for i, name in enumerate(self.variables)}
+        self.tags: list[str] = []
+        self.rows: list[list[Fraction]] = []
+
+    def add_row(self, tag: str, support: dict[str, Fraction]) -> None:
+        row = [ZERO] * len(self.variables)
+        for name, coefficient in support.items():
+            row[self._index[name]] = Fraction(coefficient)
+        self.tags.append(tag)
+        self.rows.append(row)
+
+    def certificate(
+        self, target_support: dict[str, Fraction]
+    ) -> Optional[dict[str, Fraction]]:
+        """Coefficients per tag expressing the target row, or ``None``."""
+        target = [ZERO] * len(self.variables)
+        for name, coefficient in target_support.items():
+            target[self._index[name]] = Fraction(coefficient)
+        solution = solve_exact(self.rows, target)
+        if solution is None:
+            return None
+        return {
+            tag: coefficient
+            for tag, coefficient in zip(self.tags, solution)
+        }
+
+
+# ----------------------------------------------------------------------
+# Exact rational powers (used by the f_r product formulas)
+# ----------------------------------------------------------------------
+def _integer_root(value: int, degree: int) -> Optional[int]:
+    """Exact ``degree``-th root of a non-negative integer, or ``None``."""
+    if value < 0:
+        return None
+    if value in (0, 1) or degree == 1:
+        return value
+    low, high = 0, 1 << ((value.bit_length() + degree - 1) // degree + 1)
+    while low < high:
+        mid = (low + high) // 2
+        power = mid**degree
+        if power == value:
+            return mid
+        if power < value:
+            low = mid + 1
+        else:
+            high = mid
+    return None
+
+
+def exact_root(value: Fraction, degree: int) -> Fraction:
+    """Exact ``degree``-th root of a rational; raises if irrational.
+
+    Used when a certificate has fractional coefficients: consistency of
+    ``S(q, V)`` with true probabilities guarantees the combined product is a
+    perfect power (e.g. Example 16's certificate (1/2, 1/2, 1/2, −1/2) makes
+    ``v1·v2·v3/v4`` the square of ``Pr(n ∈ q(P))``).
+    """
+    numerator = _integer_root(value.numerator, degree)
+    denominator = _integer_root(value.denominator, degree)
+    if numerator is None or denominator is None:
+        raise LinearSystemError(
+            f"{value} has no exact rational root of degree {degree}"
+        )
+    return Fraction(numerator, denominator)
+
+
+def exact_power(factors: Sequence[tuple[Fraction, Fraction]]) -> Fraction:
+    """``Π base_i^{exponent_i}`` exactly, for rational exponents.
+
+    All exponents are brought to a common denominator ``D``; the integral
+    product ``Π base_i^{exponent_i · D}`` is computed exactly and its
+    ``D``-th root extracted.
+    """
+    if not factors:
+        return ONE
+    common = 1
+    for _, exponent in factors:
+        common = common * exponent.denominator // _gcd(common, exponent.denominator)
+    product = ONE
+    for base, exponent in factors:
+        power = int(exponent * common)
+        if base == ZERO and power <= 0:
+            raise LinearSystemError("zero base with non-positive exponent")
+        product *= base**power
+    if common == 1:
+        return product
+    return exact_root(product, common)
+
+
+def _gcd(a: int, b: int) -> int:
+    while b:
+        a, b = b, a % b
+    return a

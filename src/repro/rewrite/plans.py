@@ -1,0 +1,276 @@
+"""Probabilistic rewriting plans: the pairs ``(q_r, f_r)`` of Definition 4.
+
+A plan evaluates **only** over view extensions (the set ``D^P̂_V``), never
+over the original p-document — that is the whole point of view-based
+rewriting.  Two plan shapes exist:
+
+* :class:`TPRewritePlan` — single-view plans built by ``TPrewrite`` (§4),
+  using compensation.  ``f_r`` is Theorem 1's quotient in the restricted
+  case and Theorem 2's inclusion-exclusion over the events ``e_i`` (with
+  α-patterns and the ``Id(n)`` markers) in the unrestricted case.
+* :class:`TPIRewritePlan` — multi-view intersection plans (§5).  ``f_r`` is
+  a product of per-view result probabilities raised to exact rational
+  exponents; Theorem 3's formula and the solutions of the ``S(q, V)``
+  linear system (Theorem 5) are both instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Callable, Optional, Sequence
+
+from ..errors import RewritingError
+from ..probability import ONE, ZERO
+from ..prob.evaluator import ProbEvaluator, boolean_probability
+from ..tp import ops
+from ..tp.pattern import TreePattern
+from ..views.extension import (
+    ProbabilisticViewExtension,
+    anchor_via_marker,
+)
+from ..views.view import View
+
+__all__ = ["TPRewritePlan", "TPIRewritePlan", "ViewOracle"]
+
+
+# ======================================================================
+# Single-view plans (§4)
+# ======================================================================
+@dataclass
+class TPRewritePlan:
+    """A probabilistic TP-rewriting ``(q_r, f_r)`` using one view (§4).
+
+    Attributes:
+        query: the input query ``q``.
+        view: the view ``v`` the plan reads.
+        k: ``|mb(v)|`` — the compensation depth.
+        compensation: ``q_(k)``, grafted below ``doc(v)/lbl(v)``.
+        qr: the deterministic rewriting pattern over the extension document.
+        restricted: Definition 5 (Theorem 1 applies); otherwise Theorem 2.
+        u: the maximal prefix-suffix length of ``v``'s last token.
+    """
+
+    query: TreePattern
+    view: View
+    k: int
+    compensation: TreePattern
+    qr: TreePattern
+    restricted: bool
+    u: int
+
+    # -- probability function f_r ----------------------------------------
+    def fr(self, extension: ProbabilisticViewExtension, node_id: int) -> Fraction:
+        """``f_r(n)``: recover ``Pr(n ∈ q(P))`` from the view extension only."""
+        if extension.view.name != self.view.name:
+            raise RewritingError(
+                f"plan reads view {self.view.name!r}, got {extension.view.name!r}"
+            )
+        holders = extension.selected_ancestors_or_self(node_id)
+        if not holders:
+            return ZERO
+        if self.restricted:
+            return self._fr_restricted(extension, node_id, holders)
+        return self._fr_inclusion_exclusion(extension, node_id, holders)
+
+    def _fr_restricted(
+        self,
+        extension: ProbabilisticViewExtension,
+        node_id: int,
+        holders: list[int],
+    ) -> Fraction:
+        """Theorem 1: ``Pr(n ∈ q_r(P_v)) ÷ Pr(n_a ∈ v_(k)(P_v^{n_a}))``.
+
+        The relevant ancestor ``n_a`` is unique (paper footnote 1): when the
+        compensation's main branch is ``/``-only, it is the holder at exactly
+        ``|mb(q_(k))|`` nodes' distance above ``n``; otherwise ``mb(v)`` is
+        ``/``-only and every holder sits at the same document depth, so a
+        node has at most one.
+        """
+        if not ops.mb_has_desc_edge(self.compensation):
+            distance = self.compensation.main_branch_length()
+            holders = [
+                h
+                for h in holders
+                if extension.nodes_between(h, node_id) == distance
+            ]
+            if not holders:
+                return ZERO
+        if len(holders) != 1:
+            raise RewritingError(
+                "restricted plan found several compensation-reachable "
+                "ancestors; the rewriting is not restricted on this data"
+            )
+        n_a = holders[0]
+        numerator = boolean_probability(
+            extension.pdocument, anchor_via_marker(self.qr, node_id)
+        )
+        out_token_node = ops.suffix(self.view.pattern, self.k)
+        denominator = boolean_probability(
+            extension.result_subdocument(n_a), out_token_node
+        )
+        if denominator == ZERO:
+            return ZERO
+        return numerator / denominator
+
+    def _fr_inclusion_exclusion(
+        self,
+        extension: ProbabilisticViewExtension,
+        node_id: int,
+        holders: list[int],
+    ) -> Fraction:
+        """Theorem 2 / Lemma 1: ``Pr(∨ e_i)`` by inclusion-exclusion."""
+        total = ZERO
+        indices = range(len(holders))
+        for size in range(1, len(holders) + 1):
+            sign = ONE if size % 2 == 1 else -ONE
+            for subset in itertools.combinations(indices, size):
+                joint = self._joint_event_probability(
+                    extension, node_id, [holders[i] for i in subset]
+                )
+                total += sign * joint
+        return total
+
+    def _joint_event_probability(
+        self,
+        extension: ProbabilisticViewExtension,
+        node_id: int,
+        subset: list[int],
+    ) -> Fraction:
+        """``Pr(∩_{i∈S} e_i)`` per Theorem 2's α-pattern construction.
+
+        ``subset`` is ordered top-down; its head ``n_{i0}`` supplies the base
+        factor ``Pr(n_{i0} ∈ v(P)) ÷ Pr(n_{i0} ∈ v_(k)(P_v^{n_{i0}}))``, and
+        all remaining events are tested jointly inside ``P̂_v^{n_{i0}}``.
+        """
+        top = subset[0]
+        sub = extension.result_subdocument(top)
+        out_token_node = ops.suffix(self.view.pattern, self.k)
+        denominator = boolean_probability(sub, out_token_node)
+        if denominator == ZERO:
+            return ZERO
+        base = extension.selection[top] / denominator
+        components = [anchor_via_marker(self.compensation, node_id)]
+        token = ops.last_token(self.view.pattern)
+        m = token.main_branch_length()
+        for deeper in subset[1:]:
+            s = extension.nodes_between(top, deeper)
+            components.append(
+                self._alpha_component(token, m, s, deeper, node_id)
+            )
+        probability = ProbEvaluator(sub, components).all_match_probability()
+        return base * probability
+
+    def _alpha_component(
+        self,
+        token: TreePattern,
+        m: int,
+        s: int,
+        deeper_id: int,
+        node_id: int,
+    ) -> TreePattern:
+        """One α-pattern conjunct testing a deeper event ``e_j`` (§4.4).
+
+        When the token images cannot overlap (``s > m``), the full last token
+        is re-matched below the subtree root through a ``//``-edge; when they
+        may overlap (``s ≤ m``), only the bottom ``s`` token nodes are
+        matched, starting *at* the subtree root.
+        """
+        from ..tp.pattern import Axis, PatternNode
+
+        if s > m:
+            chain = anchor_via_marker(token, deeper_id)
+            root = PatternNode(self.view.pattern.out.label, Axis.CHILD)
+            chain_root = chain.root
+            chain_root.axis = Axis.DESC
+            root.add_child(chain_root)
+            anchored = TreePattern(root, chain.out)
+        else:
+            anchored = anchor_via_marker(ops.token_suffix_chain(token, s), deeper_id)
+        full = ops.compensation(anchored, self.compensation)
+        return anchor_via_marker(full, node_id)
+
+    # -- full plan evaluation --------------------------------------------
+    def evaluate(
+        self, extension: ProbabilisticViewExtension
+    ) -> dict[int, Fraction]:
+        """The complete probabilistic answer ``q(P̂)`` from the extension."""
+        answer: dict[int, Fraction] = {}
+        for node_id in self._candidates(extension):
+            probability = self.fr(extension, node_id)
+            if probability > ZERO:
+                answer[node_id] = probability
+        return answer
+
+    def _candidates(self, extension: ProbabilisticViewExtension) -> list[int]:
+        """Original node Ids that the deterministic part q_r may select."""
+        world = extension.pdocument.max_world()
+        from ..tp.embedding import evaluate as evaluate_deterministic
+        from ..views.view import parse_marker_label
+
+        selected = evaluate_deterministic(self.qr, world)
+        originals: set[int] = set()
+        for fresh_id in selected:
+            for child in world.node(fresh_id).children:
+                original = parse_marker_label(child.label)
+                if original is not None:
+                    originals.add(original)
+        return sorted(originals)
+
+    def describe(self) -> str:
+        kind = "restricted" if self.restricted else "unrestricted"
+        return f"{kind} TP-rewriting of {self.query.xpath()} using {self.view!r}"
+
+
+# ======================================================================
+# Multi-view plans (§5)
+# ======================================================================
+ViewOracle = Callable[[int], Fraction]
+"""Returns ``Pr(n ∈ u_i(P))`` for the (possibly compensated) view ``u_i``,
+computed from that view's extension only."""
+
+
+@dataclass
+class TPIRewritePlan:
+    """A probabilistic TP∩-rewriting: ``f_r(n) = Π_i oracle_i(n)^{c_i}``.
+
+    Attributes:
+        query: the input query ``q``.
+        names: the participating (possibly compensated) view names.
+        oracles: per-view probability oracles (extension-only access).
+        exponents: the exact rational exponents ``c_i``; Theorem 3's plan is
+            the instance with ``c_i = 1`` and ``c_{mb-view} −= (m−1)``.
+        candidate_source: yields the node Ids the deterministic part selects.
+    """
+
+    query: TreePattern
+    names: list[str]
+    oracles: dict[str, ViewOracle]
+    exponents: dict[str, Fraction]
+    candidate_source: Callable[[], Sequence[int]]
+    description: str = ""
+
+    def fr(self, node_id: int) -> Fraction:
+        factors: list[tuple[Fraction, Fraction]] = []
+        for name in self.names:
+            exponent = self.exponents.get(name, ZERO)
+            if exponent == ZERO:
+                continue
+            factor = self.oracles[name](node_id)
+            if factor == ZERO:
+                return ZERO
+            factors.append((factor, exponent))
+        from .linsys import exact_power
+
+        return exact_power(factors)
+
+    def evaluate(self) -> dict[int, Fraction]:
+        answer: dict[int, Fraction] = {}
+        for node_id in self.candidate_source():
+            probability = self.fr(node_id)
+            if probability > ZERO:
+                answer[node_id] = probability
+        return answer
+
+

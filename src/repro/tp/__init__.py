@@ -1,0 +1,24 @@
+"""Tree-pattern queries TP (paper §2, Definition 2) and their toolkit."""
+
+from .pattern import Axis, PatternNode, TreePattern
+from .parser import parse_pattern
+from .embedding import evaluate, has_embedding, find_embeddings
+from .containment import contains, equivalent, contains_boolean, isomorphic
+from .minimize import minimize
+from . import ops
+
+__all__ = [
+    "Axis",
+    "PatternNode",
+    "TreePattern",
+    "parse_pattern",
+    "evaluate",
+    "has_embedding",
+    "find_embeddings",
+    "contains",
+    "contains_boolean",
+    "equivalent",
+    "isomorphic",
+    "minimize",
+    "ops",
+]

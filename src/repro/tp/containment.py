@@ -1,0 +1,143 @@
+"""Containment and equivalence of tree patterns via containment mappings.
+
+For TP queries (no wildcards) containment is characterized by containment
+mappings [27]: ``q2 ⊑ q1`` iff there is a mapping from ``q1`` to ``q2`` that
+preserves the root, the output node, node labels, maps ``/``-edges to
+``/``-edges and ``//``-edges to arbitrary downward paths (length ≥ 1).
+The mapping test below is the standard polynomial-time bottom-up table.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .pattern import Axis, PatternNode, TreePattern
+
+__all__ = [
+    "contains",
+    "contained",
+    "equivalent",
+    "contains_boolean",
+    "isomorphic",
+    "containment_mapping",
+]
+
+
+class _MappingTable:
+    """``table[u][v]`` = subtree of the *mapped* pattern rooted at ``u`` can be
+    mapped into the *target* pattern with ``u ↦ v``."""
+
+    def __init__(
+        self,
+        source: TreePattern,
+        target: TreePattern,
+        respect_out: bool,
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.respect_out = respect_out
+        self._memo: dict[tuple[int, int], bool] = {}
+        self._descendants: dict[int, list[PatternNode]] = {}
+
+    def descendants(self, v: PatternNode) -> list[PatternNode]:
+        cached = self._descendants.get(id(v))
+        if cached is None:
+            cached = [d for c in v.children for d in c.iter_subtree()]
+            self._descendants[id(v)] = cached
+        return cached
+
+    def can_map(self, u: PatternNode, v: PatternNode) -> bool:
+        key = (id(u), id(v))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        # Seed False to guard against (impossible) cycles, then compute.
+        self._memo[key] = False
+        result = self._compute(u, v)
+        self._memo[key] = result
+        return result
+
+    def _compute(self, u: PatternNode, v: PatternNode) -> bool:
+        if u.label != v.label:
+            return False
+        if self.respect_out and (u is self.source.out) != (v is self.target.out):
+            # The output node must map to the output node; conversely no other
+            # source node is forbidden from mapping onto target.out, so only
+            # the forward direction is constrained.
+            if u is self.source.out:
+                return False
+        for child in u.children:
+            if child.axis is Axis.CHILD:
+                ok = any(
+                    vc.axis is Axis.CHILD and self.can_map(child, vc)
+                    for vc in v.children
+                )
+            else:
+                ok = any(self.can_map(child, vd) for vd in self.descendants(v))
+            if not ok:
+                return False
+        return True
+
+
+def containment_mapping(
+    q1: TreePattern, q2: TreePattern, respect_out: bool = True
+) -> bool:
+    """True iff a containment mapping ``q1 → q2`` exists (root↦root, out↦out)."""
+    table = _MappingTable(q1, q2, respect_out)
+    return table.can_map(q1.root, q2.root)
+
+
+def contains(q1: TreePattern, q2: TreePattern) -> bool:
+    """``q2 ⊑ q1`` for unary queries (mapping from ``q1`` into ``q2``)."""
+    return containment_mapping(q1, q2, respect_out=True)
+
+
+def contained(q1: TreePattern, q2: TreePattern) -> bool:
+    """``q1 ⊑ q2`` — convenience inverse of :func:`contains`."""
+    return contains(q2, q1)
+
+
+def contains_boolean(q1: TreePattern, q2: TreePattern) -> bool:
+    """Boolean-query containment ``q2 ⊑ q1`` (output nodes ignored)."""
+    return containment_mapping(q1, q2, respect_out=False)
+
+
+def equivalent(q1: TreePattern, q2: TreePattern) -> bool:
+    """``q1 ≡ q2``: containment in both directions."""
+    return contains(q1, q2) and contains(q2, q1)
+
+
+def isomorphic(q1: TreePattern, q2: TreePattern) -> bool:
+    """Structural identity (order-insensitive), including output position.
+
+    For *minimized* patterns, equivalence coincides with isomorphism [27].
+    """
+    return q1.canonical_key() == q2.canonical_key()
+
+
+def mapping_witness(
+    q1: TreePattern, q2: TreePattern
+) -> Optional[dict[int, PatternNode]]:
+    """Return one containment mapping ``{id(q1 node): q2 node}`` if it exists."""
+    table = _MappingTable(q1, q2, respect_out=True)
+    if not table.can_map(q1.root, q2.root):
+        return None
+    witness: dict[int, PatternNode] = {}
+
+    def build(u: PatternNode, v: PatternNode) -> None:
+        witness[id(u)] = v
+        for child in u.children:
+            if child.axis is Axis.CHILD:
+                target = next(
+                    vc
+                    for vc in v.children
+                    if vc.axis is Axis.CHILD and table.can_map(child, vc)
+                )
+            else:
+                target = next(
+                    vd for vd in table.descendants(v) if table.can_map(child, vd)
+                )
+            build(child, target)
+
+    build(q1.root, q2.root)
+    return witness

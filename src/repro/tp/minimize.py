@@ -1,0 +1,58 @@
+"""Tree-pattern minimization (paper §2).
+
+A TP query is *minimized* when no predicate subtree can be deleted without
+changing its semantics.  Minimization is polynomial [4]: repeatedly remove a
+non-main-branch subtree and keep the removal when the reduced pattern is still
+equivalent to the original (removal only weakens a pattern, so only the
+``reduced ⊑ original`` direction needs testing).  Equivalence of minimized
+patterns coincides with isomorphism [27], which the library exploits for
+canonical deduplication.
+"""
+
+from __future__ import annotations
+
+from .containment import contains
+from .pattern import PatternNode, TreePattern
+
+__all__ = ["minimize", "canonical"]
+
+
+def minimize(q: TreePattern) -> TreePattern:
+    """Return an equivalent minimized copy of ``q``.
+
+    The main branch is never touched (its nodes define the query output); all
+    predicate subtrees, at any depth, are candidates for removal.
+    """
+    current = q.copy()
+    changed = True
+    while changed:
+        changed = False
+        for parent, child in _removal_candidates(current):
+            parent.remove_child(child)
+            reduced = TreePattern(current.root, current.out)
+            # Removal only weakens a pattern, so ``q ⊑ reduced`` always holds;
+            # equivalence needs only ``reduced ⊑ q``.
+            if contains(q, reduced):
+                current = reduced
+                changed = True
+                break
+            parent.add_child(child)  # restore and try the next candidate
+    return current
+
+
+def _removal_candidates(
+    q: TreePattern,
+) -> list[tuple[PatternNode, PatternNode]]:
+    """All (parent, child-subtree) pairs whose subtree avoids the main branch."""
+    branch_ids = set(map(id, q.main_branch()))
+    candidates: list[tuple[PatternNode, PatternNode]] = []
+    for node in q.nodes():
+        for child in node.children:
+            if id(child) not in branch_ids:
+                candidates.append((node, child))
+    return candidates
+
+
+def canonical(q: TreePattern) -> tuple:
+    """Canonical key of the minimized pattern — equal keys ⇔ equivalent queries."""
+    return minimize(q).canonical_key()

@@ -1,0 +1,205 @@
+"""Query-splitting toolkit: prefixes, suffixes, tokens, compensation (§4).
+
+Notation from the paper, with the superscript/subscript parentheses made
+explicit:
+
+* ``prefix(q, y)``  — ``q^(y)``: the prefix of ``q`` with ``y`` main-branch
+  nodes (the output mark moves up; everything below becomes predicates).
+* ``suffix(q, y)``  — ``q_(y)``: the subtree of ``q`` rooted at the
+  main-branch node of depth ``y``.
+* ``tokens(q)``     — the ``//``-separated main-branch segments,
+  ``q = t1 // t2 // ... // tx``.
+* ``compensation(q1, q2)`` — ``comp(q1, q2)``: concatenates ``q2`` (minus its
+  first symbol) onto ``q1``; defined when ``lbl(out(q1)) = lbl(root(q2))``.
+* ``v_prime(v)``    — ``v′``: ``v`` without the predicates of its output node.
+* ``q_prime(q, k)`` — ``q′``: ``q^(k)`` without the predicates of its output.
+* ``q_double_prime(q, k)`` — ``q″ = comp(mb(q^(k)), (q^(k))_(k))``: the main
+  branch down to depth ``k`` plus only the depth-``k`` node's predicates.
+"""
+
+from __future__ import annotations
+
+from ..errors import CompensationError, PatternError
+from .pattern import Axis, PatternNode, TreePattern
+
+__all__ = [
+    "prefix",
+    "suffix",
+    "tokens",
+    "last_token",
+    "token_label_sequence",
+    "max_prefix_suffix",
+    "compensation",
+    "mb_pattern",
+    "without_out_children",
+    "v_prime",
+    "q_prime",
+    "q_double_prime",
+    "mb_has_desc_edge",
+    "is_restricted_rewriting",
+    "token_suffix_chain",
+]
+
+
+def prefix(q: TreePattern, y: int) -> TreePattern:
+    """``q^(y)``: move the output mark up to the main-branch node of depth ``y``."""
+    branch = q.main_branch()
+    if not 1 <= y <= len(branch):
+        raise PatternError(f"prefix depth {y} out of range 1..{len(branch)}")
+    copied, mapping = q.copy_with_mapping()
+    return TreePattern(copied.root, mapping[id(branch[y - 1])])
+
+
+def suffix(q: TreePattern, y: int) -> TreePattern:
+    """``q_(y)``: the subtree rooted at the main-branch node of depth ``y``."""
+    branch = q.main_branch()
+    if not 1 <= y <= len(branch):
+        raise PatternError(f"suffix depth {y} out of range 1..{len(branch)}")
+    copied, mapping = q.copy_with_mapping()
+    new_root = mapping[id(branch[y - 1])]
+    if new_root.parent is not None:
+        new_root.parent.remove_child(new_root)
+    new_root.axis = Axis.CHILD
+    return TreePattern(new_root, mapping[id(q.out)])
+
+
+def tokens(q: TreePattern) -> list[TreePattern]:
+    """Split ``q`` into its tokens ``t1 // ... // tx`` (paper §4).
+
+    Each token is returned as a TreePattern over the token's own main-branch
+    segment, carrying the predicates of its nodes; the main-branch
+    continuation into the next token is *not* part of a token.
+    """
+    branch = q.main_branch()
+    copied, mapping = q.copy_with_mapping()
+    segments: list[list[PatternNode]] = [[]]
+    for node in branch:
+        if node.axis is Axis.DESC and segments[-1]:
+            segments.append([])
+        segments[-1].append(mapping[id(node)])
+    result: list[TreePattern] = []
+    for index, segment in enumerate(segments):
+        head, tail = segment[0], segment[-1]
+        if head.parent is not None:
+            head.parent.remove_child(head)
+        head.axis = Axis.CHILD
+        if index + 1 < len(segments):
+            continuation = segments[index + 1][0]
+            tail.remove_child(continuation)
+        result.append(TreePattern(head, tail))
+    return result
+
+
+def last_token(q: TreePattern) -> TreePattern:
+    """The token that ends with ``out(q)``."""
+    return tokens(q)[-1]
+
+
+def token_label_sequence(token: TreePattern) -> list[str]:
+    """The main-branch label sequence ``(l1, ..., lm)`` of a token."""
+    return [node.label for node in token.main_branch()]
+
+
+def max_prefix_suffix(labels: list[str]) -> int:
+    """Largest ``u`` with ``2u ≤ m`` s.t. the first ``u`` labels equal the last ``u``.
+
+    >>> max_prefix_suffix(["b", "c", "b", "c"])
+    2
+    >>> max_prefix_suffix(["a", "b", "c"])
+    0
+    """
+    m = len(labels)
+    for u in range(m // 2, 0, -1):
+        if labels[:u] == labels[m - u :]:
+            return u
+    return 0
+
+
+def compensation(q1: TreePattern, q2: TreePattern) -> TreePattern:
+    """``comp(q1, q2)``: graft ``q2`` onto the output node of ``q1`` (§3).
+
+    ``q2``'s root coalesces with ``out(q1)``; its predicates become predicates
+    of ``out(q1)`` and its main branch extends the main branch of ``q1``.
+
+    Raises:
+        CompensationError: if ``lbl(out(q1)) != lbl(root(q2))``.
+    """
+    if q1.out.label != q2.root.label:
+        raise CompensationError(
+            f"cannot compensate: lbl(out(q1))={q1.out.label!r} != "
+            f"lbl(root(q2))={q2.root.label!r}"
+        )
+    base, base_map = q1.copy_with_mapping()
+    addition, add_map = q2.copy_with_mapping()
+    graft_point = base_map[id(q1.out)]
+    for child in list(addition.root.children):
+        addition.root.remove_child(child)
+        graft_point.add_child(child)
+    if q2.out is q2.root:
+        new_out = graft_point
+    else:
+        new_out = add_map[id(q2.out)]
+    return TreePattern(base.root, new_out)
+
+
+def mb_pattern(q: TreePattern) -> TreePattern:
+    """``mb(q)`` as a predicate-free linear pattern (labels and axes only)."""
+    branch = q.main_branch()
+    head = PatternNode(branch[0].label, Axis.CHILD)
+    current = head
+    for node in branch[1:]:
+        current = current.add_child(PatternNode(node.label, node.axis))
+    return TreePattern(head, current)
+
+
+def without_out_children(q: TreePattern) -> TreePattern:
+    """Drop every subtree hanging below the output node (its predicates)."""
+    copied, mapping = q.copy_with_mapping()
+    out = mapping[id(q.out)]
+    for child in list(out.children):
+        out.remove_child(child)
+    return TreePattern(copied.root, out)
+
+
+def v_prime(v: TreePattern) -> TreePattern:
+    """``v′``: the view without the predicates of its output node (§4)."""
+    return without_out_children(v)
+
+
+def q_prime(q: TreePattern, k: int) -> TreePattern:
+    """``q′``: the prefix ``q^(k)`` without predicates on its output node."""
+    return without_out_children(prefix(q, k))
+
+
+def q_double_prime(q: TreePattern, k: int) -> TreePattern:
+    """``q″ = comp(mb(q^(k)), (q^(k))_(k))`` (§4).
+
+    The main branch of ``q`` down to depth ``k`` where only the depth-``k``
+    node keeps its subtrees (both its original predicates and, when
+    ``k < |mb(q)|``, the demoted main-branch continuation).
+    """
+    return compensation(mb_pattern(prefix(q, k)), suffix(prefix(q, k), k))
+
+
+def mb_has_desc_edge(q: TreePattern) -> bool:
+    """True iff the main branch of ``q`` contains a ``//``-edge."""
+    return any(node.axis is Axis.DESC for node in q.main_branch()[1:])
+
+
+def is_restricted_rewriting(v: TreePattern, comp_pattern: TreePattern) -> bool:
+    """Definition 5: the rewriting is *restricted* iff ``mb(v)`` has no
+    ``//``-edges or the compensation's main branch has no ``//``-edges."""
+    return not mb_has_desc_edge(v) or not mb_has_desc_edge(comp_pattern)
+
+
+def token_suffix_chain(token: TreePattern, s: int) -> TreePattern:
+    """The last ``s`` main-branch nodes of a token, with their predicates.
+
+    Used by Theorem 2's α-patterns when the images of the view's last token
+    may overlap (``s(i, j) ≤ m``): the pattern
+    ``l_{m−s+1}[Q_{m−s+1}]/.../l_m[Q_m]``.
+    """
+    m = token.main_branch_length()
+    if not 1 <= s <= m:
+        raise PatternError(f"token suffix length {s} out of range 1..{m}")
+    return suffix(token, m - s + 1)

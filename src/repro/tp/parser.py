@@ -1,0 +1,122 @@
+"""Parser for the paper's XPath-style tree-pattern notation.
+
+Accepted syntax (the fragment used throughout the paper)::
+
+    pattern   := step (('/' | '//') step)*
+    step      := label predicate*
+    predicate := '[' relative ']'
+    relative  := ('.//' | './')? step (('/' | '//') step)*
+    label     := any run of characters except '[', ']', '/'
+
+The last main-branch step becomes the output node.  Examples::
+
+    parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]")
+    parse_pattern("a[.//c]/b")
+    parse_pattern("doc(v1BON)/bonus[laptop]")
+"""
+
+from __future__ import annotations
+
+from ..errors import PatternParseError
+from .pattern import Axis, PatternNode, TreePattern
+
+__all__ = ["parse_pattern"]
+
+
+def parse_pattern(text: str) -> TreePattern:
+    """Parse ``text`` into a :class:`TreePattern`.
+
+    Raises:
+        PatternParseError: on any syntax error (with position information).
+    """
+    parser = _Parser(text)
+    root, out = parser.parse_main()
+    return TreePattern(root, out)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text.strip()
+        self.pos = 0
+
+    # -- low-level ------------------------------------------------------
+    def error(self, message: str) -> PatternParseError:
+        return PatternParseError(
+            f"{message} at position {self.pos} in {self.text!r}"
+        )
+
+    def eof(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, literal: str) -> bool:
+        return self.text.startswith(literal, self.pos)
+
+    def take(self, literal: str) -> None:
+        if not self.peek(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def take_label(self) -> str:
+        start = self.pos
+        while not self.eof() and self.text[self.pos] not in "[]/":
+            self.pos += 1
+        label = self.text[start : self.pos]
+        if not label:
+            raise self.error("expected a label")
+        return label
+
+    def take_axis(self) -> Axis:
+        if self.peek("//"):
+            self.take("//")
+            return Axis.DESC
+        self.take("/")
+        return Axis.CHILD
+
+    # -- grammar --------------------------------------------------------
+    def parse_main(self) -> tuple[PatternNode, PatternNode]:
+        node = self.parse_step(Axis.CHILD)
+        root = node
+        while not self.eof() and (self.peek("/") or self.peek("//")):
+            axis = self.take_axis()
+            child = self.parse_step(axis)
+            node.add_child(child)
+            node = child
+        if not self.eof():
+            raise self.error("trailing input")
+        return root, node
+
+    def parse_step(self, axis: Axis) -> PatternNode:
+        label = self.take_label()
+        node = PatternNode(label, axis)
+        while not self.eof() and self.peek("["):
+            self.take("[")
+            node.add_child(self.parse_relative())
+            self.take("]")
+        return node
+
+    def parse_relative(self) -> PatternNode:
+        """Parse the inside of a predicate: an anchored relative path."""
+        if self.peek(".//"):
+            self.take(".//")
+            first_axis = Axis.DESC
+        elif self.peek("./"):
+            self.take("./")
+            first_axis = Axis.CHILD
+        elif self.peek("//"):
+            self.take("//")
+            first_axis = Axis.DESC
+        elif self.peek("/"):
+            # Tolerated: the paper occasionally writes [/name/Rick].
+            self.take("/")
+            first_axis = Axis.CHILD
+        else:
+            first_axis = Axis.CHILD
+        node = self.parse_step(first_axis)
+        head = node
+        while not self.eof() and (self.peek("/") or self.peek("//")):
+            # A ']' after a separator is impossible, so this is safe.
+            axis = self.take_axis()
+            child = self.parse_step(axis)
+            node.add_child(child)
+            node = child
+        return head

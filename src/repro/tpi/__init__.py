@@ -1,0 +1,24 @@
+"""TP∩: intersections of tree patterns (paper §2, §5.1)."""
+
+from .intersection import TPIntersection
+from .interleave import interleavings, iter_interleavings
+from .containment import (
+    tpi_satisfiable,
+    tpi_contained_in_tp,
+    tp_contained_in_tpi,
+    tpi_equivalent_tp,
+    union_free_interleaving,
+)
+from .skeleton import is_extended_skeleton
+
+__all__ = [
+    "TPIntersection",
+    "interleavings",
+    "iter_interleavings",
+    "tpi_satisfiable",
+    "tpi_contained_in_tp",
+    "tp_contained_in_tpi",
+    "tpi_equivalent_tp",
+    "union_free_interleaving",
+    "is_extended_skeleton",
+]

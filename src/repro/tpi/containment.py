@@ -1,0 +1,93 @@
+"""Containment and equivalence between TP∩ and TP queries (paper §5.1).
+
+``Q = q1 ∩ ... ∩ qk`` is first reformulated as the union of its
+interleavings ``∪_i Q_i`` (possibly exponentially many).  Then, following
+[10] and the reminder in §5.1:
+
+* ``q ⊑ Q``  iff ``q ⊑ q_j`` for every component ``q_j``;
+* ``Q ⊑ q``  iff ``Q_i ⊑ q`` for every interleaving ``Q_i``;
+* ``q ≡ Q``  iff both hold.  (Equivalently, ``q ⊑ Q_j`` for some
+  interleaving, which the union-containment direction implies.)
+
+Testing equivalence this way is coNP-hard in general (Corollary 2); the
+*union-freeness* detector below identifies the benign cases — one
+interleaving containing all others — where the intersection collapses to a
+single TP query.  Extended skeletons (see :mod:`repro.tpi.skeleton`) are the
+paper's syntactic fragment guaranteeing tractability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..tp.containment import contains
+from ..tp.pattern import TreePattern
+from .interleave import interleavings, iter_interleavings
+
+__all__ = [
+    "tpi_satisfiable",
+    "tp_contained_in_tpi",
+    "tpi_contained_in_tp",
+    "tpi_equivalent_tp",
+    "union_free_interleaving",
+]
+
+
+def tpi_satisfiable(patterns: Sequence[TreePattern]) -> bool:
+    """A TP∩ pattern is satisfiable iff it admits at least one interleaving."""
+    for _ in iter_interleavings(patterns):
+        return True
+    return False
+
+
+def tp_contained_in_tpi(q: TreePattern, patterns: Sequence[TreePattern]) -> bool:
+    """``q ⊑ q1 ∩ ... ∩ qk`` — componentwise containment."""
+    return all(contains(component, q) for component in patterns)
+
+
+def tpi_contained_in_tp(
+    patterns: Sequence[TreePattern],
+    q: TreePattern,
+    limit: Optional[int] = None,
+) -> bool:
+    """``q1 ∩ ... ∩ qk ⊑ q`` — every interleaving must be contained in ``q``."""
+    count = 0
+    for candidate in iter_interleavings(patterns):
+        count += 1
+        if limit is not None and count > limit:
+            from ..errors import IntersectionError
+
+            raise IntersectionError(f"more than {limit} interleavings")
+        if not contains(q, candidate):
+            return False
+    return True
+
+
+def tpi_equivalent_tp(
+    patterns: Sequence[TreePattern],
+    q: TreePattern,
+    limit: Optional[int] = None,
+) -> bool:
+    """``q ≡ q1 ∩ ... ∩ qk``."""
+    return tp_contained_in_tpi(q, patterns) and tpi_contained_in_tp(
+        patterns, q, limit=limit
+    )
+
+
+def union_free_interleaving(
+    patterns: Sequence[TreePattern],
+    limit: Optional[int] = None,
+) -> Optional[TreePattern]:
+    """If one interleaving contains all others, the TP∩ query is *union-free*
+    ([8]'s terminology) and collapses to that single TP query — return it.
+
+    Returns ``None`` when no interleaving dominates (or none exists).
+    """
+    candidates = interleavings(patterns, limit=limit)
+    for candidate in candidates:
+        if all(
+            other is candidate or contains(candidate, other)
+            for other in candidates
+        ):
+            return candidate
+    return None

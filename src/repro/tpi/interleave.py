@@ -1,0 +1,203 @@
+"""Interleavings of intersected tree patterns (paper §5.1, after [10]).
+
+A TP∩ query ``q1 ∩ ... ∩ qk`` (all components formulated over the same
+document root, outputs joined by node identity) is equivalent to the union of
+its *interleavings*: the TP queries obtained by merging the components' main
+branches into a single main branch, in every way that
+
+* preserves each component's main-branch order,
+* coalesces all the roots (position 0) and all the output nodes (the final
+  position) — possibly coalescing further nodes of *different* components,
+  provided their labels agree,
+* respects ``/``-edges: a ``/``-child must land on the position immediately
+  following its parent's position, and forces that merged edge to be ``/``,
+* leaves every other merged edge as the weakest compatible one (``//``).
+
+Predicate subtrees travel with their main-branch node and are attached to the
+node's merged position.  The number of interleavings is exponential in the
+worst case — this is precisely the source of the coNP-hardness of TP∩
+equivalence (Corollary 2), which `benchmarks/bench_scaling.py` measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from ..errors import IntersectionError
+from ..tp.pattern import Axis, PatternNode, TreePattern
+
+__all__ = ["interleavings", "iter_interleavings"]
+
+
+def interleavings(
+    patterns: Sequence[TreePattern],
+    limit: Optional[int] = None,
+    dedupe: bool = True,
+) -> list[TreePattern]:
+    """All interleavings of ``patterns`` (deduplicated structurally).
+
+    Args:
+        patterns: the intersected components.
+        limit: if given, raise :class:`IntersectionError` once more than
+            ``limit`` interleavings have been produced (guard for callers
+            that must stay polynomial).
+        dedupe: drop structurally identical results.
+    """
+    results: list[TreePattern] = []
+    seen: set[tuple] = set()
+    for candidate in iter_interleavings(patterns):
+        if dedupe:
+            key = candidate.canonical_key()
+            if key in seen:
+                continue
+            seen.add(key)
+        results.append(candidate)
+        if limit is not None and len(results) > limit:
+            raise IntersectionError(
+                f"more than {limit} interleavings; aborting as requested"
+            )
+    return results
+
+
+def iter_interleavings(patterns: Sequence[TreePattern]) -> Iterator[TreePattern]:
+    """Lazily enumerate interleavings (see :func:`interleavings`)."""
+    if not patterns:
+        return
+    branches = [p.main_branch() for p in patterns]
+    lengths = [len(b) for b in branches]
+    k = len(patterns)
+
+    # Roots must all coalesce; bail out early on label mismatch.
+    root_labels = {b[0].label for b in branches}
+    if len(root_labels) != 1:
+        return
+
+    # A *position* is a tuple of (pattern index, node index) pairs.
+    Position = tuple[tuple[int, int], ...]
+
+    def successors(
+        indices: tuple[int, ...], last: Position
+    ) -> Iterator[tuple[Position, tuple[int, ...]]]:
+        """All valid next positions from the current state."""
+        placed_at_last = {i for i, _ in last}
+        # Components whose next node is /-connected to a node in the last
+        # position are *forced* into the next position.
+        forced = [
+            i
+            for i in placed_at_last
+            if indices[i] < lengths[i]
+            and branches[i][indices[i]].axis is Axis.CHILD
+        ]
+        # Components whose next node is /-connected to an *earlier* position
+        # can never be placed again: adjacency is already violated.
+        for i in range(k):
+            if (
+                i not in placed_at_last
+                and indices[i] < lengths[i]
+                and branches[i][indices[i]].axis is Axis.CHILD
+            ):
+                return
+        available = [i for i in range(k) if indices[i] < lengths[i]]
+        if not available:
+            return
+        if forced:
+            base = set(forced)
+            optional = [
+                i
+                for i in available
+                if i not in base and branches[i][indices[i]].axis is Axis.DESC
+            ]
+        else:
+            base = set()
+            optional = list(available)
+        # Enumerate supersets of `base` within base ∪ optional (non-empty).
+        for mask in range(1 << len(optional)):
+            chosen = set(base)
+            for bit, i in enumerate(optional):
+                if mask & (1 << bit):
+                    chosen.add(i)
+            if not chosen:
+                continue
+            labels = {branches[i][indices[i]].label for i in chosen}
+            if len(labels) != 1:
+                continue
+            new_indices = list(indices)
+            for i in chosen:
+                new_indices[i] += 1
+            # Output nodes must coalesce: a position containing some
+            # component's last node must finish *every* component.
+            finished = [i for i in range(k) if new_indices[i] == lengths[i]]
+            includes_final = any(new_indices[i] == lengths[i] for i in chosen)
+            if includes_final and len(finished) != k:
+                continue
+            if finished and len(finished) != k:
+                continue
+            yield (
+                tuple(sorted((i, indices[i]) for i in chosen)),
+                tuple(new_indices),
+            )
+
+    def rec(
+        indices: tuple[int, ...], sequence: list[Position]
+    ) -> Iterator[list[Position]]:
+        if all(indices[i] == lengths[i] for i in range(k)):
+            yield list(sequence)
+            return
+        for position, new_indices in successors(indices, sequence[-1]):
+            sequence.append(position)
+            yield from rec(new_indices, sequence)
+            sequence.pop()
+
+    first: Position = tuple((i, 0) for i in range(k))
+    start = tuple(1 for _ in range(k))
+    if any(lengths[i] == 1 for i in range(k)):
+        # Some component's root is also its output: every component must then
+        # collapse into a single position.
+        if all(lengths[i] == 1 for i in range(k)):
+            yield _build(patterns, branches, [first])
+        return
+    for sequence in rec(start, [first]):
+        yield _build(patterns, branches, sequence)
+
+
+def _build(
+    patterns: Sequence[TreePattern],
+    branches: Sequence[list[PatternNode]],
+    sequence: list,
+) -> TreePattern:
+    """Materialize an interleaving from its position sequence."""
+    root: Optional[PatternNode] = None
+    previous: Optional[PatternNode] = None
+    out: Optional[PatternNode] = None
+    for position in sequence:
+        members = [(i, branches[i][j]) for i, j in position]
+        label = members[0][1].label
+        axis = Axis.CHILD
+        if previous is not None:
+            axis = (
+                Axis.CHILD
+                if any(node.axis is Axis.CHILD for _, node in members)
+                else Axis.DESC
+            )
+        merged = PatternNode(label, axis)
+        for i, node in members:
+            branch_ids = set(map(id, branches[i]))
+            for child in node.children:
+                if id(child) in branch_ids:
+                    continue  # main-branch continuation, not a predicate
+                merged.add_child(_copy_subtree(child))
+        if previous is None:
+            root = merged
+        else:
+            previous.add_child(merged)
+        previous = merged
+        out = merged
+    assert root is not None and out is not None
+    return TreePattern(root, out)
+
+
+def _copy_subtree(node: PatternNode) -> PatternNode:
+    copy = PatternNode(node.label, node.axis)
+    for child in node.children:
+        copy.add_child(_copy_subtree(child))
+    return copy

@@ -1,0 +1,37 @@
+"""The TP∩ query class: an intersection of tree patterns (paper §2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..tp.pattern import TreePattern
+
+__all__ = ["TPIntersection"]
+
+
+@dataclass(frozen=True)
+class TPIntersection:
+    """``q1 ∩ ... ∩ qk``: nodes selected by *every* component (joined by Id).
+
+    Components may be formulated over different documents of a set ``D``
+    (e.g. several view extensions ``doc(v_i)``); the result is the
+    intersection of the components' node sets.
+    """
+
+    components: tuple[TreePattern, ...]
+
+    def __init__(self, components: Sequence[TreePattern]) -> None:
+        object.__setattr__(self, "components", tuple(components))
+
+    def __iter__(self) -> Iterator[TreePattern]:
+        return iter(self.components)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def xpath(self) -> str:
+        return " ∩ ".join(component.xpath() for component in self.components)
+
+    def __repr__(self) -> str:
+        return f"TPIntersection({self.xpath()})"

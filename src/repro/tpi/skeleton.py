@@ -1,0 +1,84 @@
+"""Extended skeletons: the tractable TP fragment of §5.1.
+
+A TP query is an *extended skeleton* when, for any main-branch node ``n`` and
+any ``//``-subpredicate ``st`` of ``n`` (a predicate subtree whose root is
+connected by a ``//``-edge to a linear ``/``-path ``l`` coming from ``n``),
+there is no containment mapping — in either direction — between ``l`` (the
+*incoming /-path*) and the ``/``-path following ``n`` on the main branch.
+The empty path maps into every path.
+
+Per the paper's examples: ``a[b//c//d]/e//d`` and ``a[b//c]/d//e`` are
+extended skeletons; ``a[b//c]/b//d``, ``a[b//c]//d``, ``a[.//b]/c//d`` and
+``a[.//b]//c`` are not.  The fragment does not restrict ``//``-edges on the
+main branch, nor predicates built from ``/``-edges only.
+"""
+
+from __future__ import annotations
+
+from ..tp.pattern import Axis, PatternNode, TreePattern
+
+__all__ = ["is_extended_skeleton"]
+
+
+def is_extended_skeleton(q: TreePattern) -> bool:
+    """Check the extended-skeleton condition for every main-branch node."""
+    branch = q.main_branch()
+    branch_ids = set(map(id, branch))
+    for index, node in enumerate(branch):
+        mb_slash_path = _mb_slash_path_labels(branch, index)
+        for pred_root in node.children:
+            if id(pred_root) in branch_ids:
+                continue
+            for incoming in _incoming_slash_paths(pred_root):
+                if _path_maps_into(incoming, mb_slash_path) or _path_maps_into(
+                    mb_slash_path, incoming
+                ):
+                    return False
+    return True
+
+
+def _mb_slash_path_labels(branch: list[PatternNode], index: int) -> list[str]:
+    """Labels of the maximal ``/``-path following ``branch[index]`` on the
+    main branch (empty if the next main-branch edge is ``//``)."""
+    labels: list[str] = []
+    for node in branch[index + 1 :]:
+        if node.axis is not Axis.CHILD:
+            break
+        labels.append(node.label)
+    return labels
+
+
+def _incoming_slash_paths(pred_root: PatternNode) -> list[list[str]]:
+    """The incoming ``/``-paths of every ``//``-subpredicate under a predicate.
+
+    Walk the predicate from its root along ``/``-edges only; whenever a
+    ``//``-edge is met, the labels collected so far (excluding none for the
+    predicate root itself if it is ``//``-connected) form the incoming path.
+    """
+    results: list[list[str]] = []
+    if pred_root.axis is Axis.DESC:
+        results.append([])  # as in a[.//c]: empty incoming path
+
+    def walk(node: PatternNode, prefix: list[str]) -> None:
+        if node.axis is Axis.DESC:
+            return  # only /-reachable chains from the main-branch node count
+        path = prefix + [node.label]
+        for child in node.children:
+            if child.axis is Axis.DESC:
+                results.append(path)
+            else:
+                walk(child, path)
+
+    if pred_root.axis is Axis.CHILD:
+        walk(pred_root, [])
+    return results
+
+
+def _path_maps_into(p1: list[str], p2: list[str]) -> bool:
+    """Containment mapping between anchored linear ``/``-paths: a prefix test.
+
+    Both paths hang below the same node with ``/``-edges, so a mapping exists
+    iff ``p1`` is a (label-wise) prefix of ``p2``.  The empty path maps into
+    any path (paper convention).
+    """
+    return len(p1) <= len(p2) and p2[: len(p1)] == p1

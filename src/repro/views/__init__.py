@@ -1,0 +1,22 @@
+"""Views and their (deterministic / probabilistic) extensions (paper §3, §3.1)."""
+
+from .view import View, doc_label, marker_label, parse_marker_label
+from .extension import (
+    DeterministicViewExtension,
+    ProbabilisticViewExtension,
+    deterministic_extension,
+    probabilistic_extension,
+    anchor_via_marker,
+)
+
+__all__ = [
+    "View",
+    "doc_label",
+    "marker_label",
+    "parse_marker_label",
+    "DeterministicViewExtension",
+    "ProbabilisticViewExtension",
+    "deterministic_extension",
+    "probabilistic_extension",
+    "anchor_via_marker",
+]

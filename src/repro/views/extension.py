@@ -1,0 +1,194 @@
+"""View extensions: bundling a view's results into one (p-)document (§3, §3.1).
+
+Probabilistic extensions ``P̂_v`` are built exactly as in the paper: a root
+labeled ``doc(v)``, one ``ind`` child, and below it — for every pair
+``(n, p) ∈ v(P̂)`` — a copy of the p-subdocument ``P̂_n`` attached with
+probability ``p``.  Every copied ordinary node additionally receives a fresh
+child labeled ``Id(n)`` exposing its original identity (the paper's
+post-processing step, needed to locate the multiple occurrences of a node in
+the extension).
+
+Everything a rewriting's probability function ``f_r`` may legitimately use is
+available from the :class:`ProbabilisticViewExtension` object alone: the
+extension p-document, the per-subtree selection probabilities (readable off
+the ``ind`` edges), and occurrence/containment information derived from the
+markers.  ``f_r`` implementations in :mod:`repro.rewrite` receive only this
+object — never the original document.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..prob.evaluator import query_answer
+from ..pxml.pdocument import PDocument, PNode, PNodeKind
+from ..tp.embedding import evaluate as evaluate_deterministic
+from ..tp.pattern import Axis, PatternNode, TreePattern
+from ..xml.document import DocNode, Document
+from .view import View, marker_label
+
+__all__ = [
+    "DeterministicViewExtension",
+    "ProbabilisticViewExtension",
+    "deterministic_extension",
+    "probabilistic_extension",
+    "anchor_via_marker",
+]
+
+
+@dataclass
+class DeterministicViewExtension:
+    """``d_v``: the deterministic extension of a view over a document."""
+
+    view: View
+    document: Document
+    #: original selected node Id -> Id of its copy directly under doc(v)
+    subtree_roots: dict[int, int]
+
+
+@dataclass
+class ProbabilisticViewExtension:
+    """``P̂_v``: the probabilistic extension of a view over a p-document."""
+
+    view: View
+    pdocument: PDocument
+    #: original node Id n -> Pr(n ∈ v(P̂)) — the ind-edge probabilities.
+    selection: dict[int, Fraction]
+    #: original node Id n -> Id (in P̂_v) of the copy of n that roots its
+    #: own result subtree.
+    subtree_roots: dict[int, int]
+    #: original node Id n -> set of selected Ids m such that the result
+    #: subtree of m contains an occurrence of n (derived from markers).
+    occurrences: dict[int, set[int]]
+
+    def selected_ids(self) -> list[int]:
+        return sorted(self.selection)
+
+    def result_subdocument(self, original_id: int) -> PDocument:
+        """``P̂_v^{n}``: the p-subdocument rooted at ``n``'s own result copy."""
+        return self.pdocument.subdocument(self.subtree_roots[original_id])
+
+    def selected_ancestors_or_self(self, original_id: int) -> list[int]:
+        """Selected nodes whose result subtree contains ``original_id``,
+        ordered top-down (outermost ancestor first).
+
+        This is exactly the list ``n_1, ..., n_a`` of §4 ("the
+        ancestor-or-self nodes of n that are selected by v"), recovered from
+        the extension itself via the markers.
+        """
+        holders = self.occurrences.get(original_id, set())
+        # A selected node m1 is an ancestor-or-self of m2 iff m1's result
+        # subtree contains an occurrence of m2; the topmost holder is thus
+        # contained in the fewest holders (only itself).
+        return sorted(
+            holders,
+            key=lambda m: (len(self.occurrences.get(m, set()) & holders), m),
+        )
+
+    def nodes_between(self, ancestor_id: int, descendant_id: int) -> int:
+        """``s(i, j)``: the count of ordinary nodes from ``n_i`` down to
+        ``n_j`` inclusive, measured inside ``n_i``'s result subtree."""
+        sub = self.result_subdocument(ancestor_id)
+        marker = marker_label(descendant_id)
+        target = None
+        for node in sub.ordinary_nodes():
+            if node.label == marker:
+                target = node.parent
+                break
+        if target is None:
+            raise KeyError(
+                f"node {descendant_id} does not occur below {ancestor_id}"
+            )
+        count = 0
+        current = target
+        while current is not None:
+            if current.is_ordinary:
+                count += 1
+            current = current.parent
+        return count
+
+
+# ----------------------------------------------------------------------
+# Construction
+# ----------------------------------------------------------------------
+def deterministic_extension(d: Document, view: View) -> DeterministicViewExtension:
+    """Build ``d_v`` (copy semantics: fresh Ids, identity via markers)."""
+    fresh = itertools.count(1)
+    root = DocNode(0, view.doc_label)
+    subtree_roots: dict[int, int] = {}
+    for selected in sorted(evaluate_deterministic(view.pattern, d)):
+        copy = _copy_doc_with_markers(d.node(selected), fresh)
+        root.add_child(copy)
+        subtree_roots[selected] = copy.node_id
+    return DeterministicViewExtension(view, Document(root), subtree_roots)
+
+
+def _copy_doc_with_markers(source, fresh) -> DocNode:
+    copy = DocNode(next(fresh), source.label)
+    copy.add_child(DocNode(next(fresh), marker_label(source.node_id)))
+    for child in source.children:
+        copy.add_child(_copy_doc_with_markers(child, fresh))
+    return copy
+
+
+def probabilistic_extension(p: PDocument, view: View) -> ProbabilisticViewExtension:
+    """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees + Id markers)."""
+    answer = query_answer(p, view.pattern)
+    fresh = itertools.count(1)
+    root = PNode(0, PNodeKind.ORDINARY, view.doc_label)
+    bundle = PNode(next(fresh), PNodeKind.IND)
+    subtree_roots: dict[int, int] = {}
+    occurrences: dict[int, set[int]] = {}
+    for selected in sorted(answer):
+        copy = _copy_pnode_with_markers(p.node(selected), fresh, selected, occurrences)
+        bundle.add_child(copy, answer[selected])
+        subtree_roots[selected] = copy.node_id
+    if subtree_roots:
+        root.add_child(bundle)
+    return ProbabilisticViewExtension(
+        view=view,
+        pdocument=PDocument(root),
+        selection=dict(answer),
+        subtree_roots=subtree_roots,
+        occurrences=occurrences,
+    )
+
+
+def _copy_pnode_with_markers(
+    source: PNode,
+    fresh,
+    holder: int,
+    occurrences: dict[int, set[int]],
+) -> PNode:
+    copy = PNode(next(fresh), source.kind, source.label)
+    if source.is_ordinary:
+        occurrences.setdefault(source.node_id, set()).add(holder)
+        copy.add_child(PNode(next(fresh), PNodeKind.ORDINARY, marker_label(source.node_id)))
+    for child in source.children:
+        probability = (
+            source.probabilities[child.node_id]
+            if source.probabilities is not None
+            else None
+        )
+        copy.add_child(
+            _copy_pnode_with_markers(child, fresh, holder, occurrences), probability
+        )
+    return copy
+
+
+# ----------------------------------------------------------------------
+# Marker anchoring
+# ----------------------------------------------------------------------
+def anchor_via_marker(pattern: TreePattern, original_id: int) -> TreePattern:
+    """Pin a pattern's output node to an original node inside an extension.
+
+    Returns a copy of ``pattern`` whose output node gains a ``/``-child with
+    label ``Id(original_id)`` — the paper's device for identifying the
+    multiple occurrences of a node in view outputs.
+    """
+    copied, mapping = pattern.copy_with_mapping()
+    out = mapping[id(pattern.out)]
+    out.add_child(PatternNode(marker_label(original_id), Axis.CHILD))
+    return copied

@@ -1,0 +1,55 @@
+"""Views: named tree-pattern queries (paper §3).
+
+A view is a TP query together with a name drawn from a set ``V`` disjoint
+from the label alphabet.  Its extension over a document is rooted at the
+special label ``doc(v)``; original node identity is exposed through fresh
+``Id(n)`` marker children (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..tp.pattern import TreePattern
+
+__all__ = ["View", "doc_label", "marker_label", "parse_marker_label"]
+
+
+def doc_label(view_name: str) -> str:
+    """The special root label ``doc(v)`` of a view extension."""
+    return f"doc({view_name})"
+
+
+def marker_label(original_node_id: int) -> str:
+    """The fresh label ``Id(n)`` marking an occurrence of original node ``n``."""
+    return f"Id({original_node_id})"
+
+
+def parse_marker_label(label: str) -> int | None:
+    """Inverse of :func:`marker_label`; ``None`` if the label is not a marker."""
+    if label.startswith("Id(") and label.endswith(")"):
+        try:
+            return int(label[3:-1])
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class View:
+    """A named view.
+
+    Attributes:
+        name: the view name from ``V``.
+        pattern: the TP query defining the view.
+    """
+
+    name: str
+    pattern: TreePattern = field(compare=False)
+
+    @property
+    def doc_label(self) -> str:
+        return doc_label(self.name)
+
+    def __repr__(self) -> str:
+        return f"View({self.name}: {self.pattern.xpath()})"

@@ -1,0 +1,7 @@
+"""Workloads: the paper's figures as exact fixtures, plus synthetic generators."""
+
+from . import paper
+from . import synthetic
+from . import hypergraph
+
+__all__ = ["paper", "synthetic", "hypergraph"]

@@ -1,0 +1,108 @@
+"""Theorem 4's reduction: k-DIMENSIONAL PERFECT MATCHING → view selection.
+
+Given a k-uniform hypergraph ``H = (U, E)`` with ``s = |U|`` vertices and
+``m = |E|`` hyperedges, the reduction builds
+
+* the query ``q = a[1]/a[2]/.../a[s]//b``;
+* for every hyperedge ``e_i`` a view ``v_i``: a ``/``-chain of ``s``
+  ``a``-nodes followed by ``//b``, with predicate ``[j]`` on the ``j``-th
+  ``a``-node for every vertex ``j ∈ e_i``.
+
+Two views are c-independent iff their hyperedges are disjoint, and a subset
+of pairwise c-independent views rewrites ``q`` iff the corresponding edges
+form a perfect matching.  Deciding the existence of such a subset is hence
+NP-hard (Theorem 4) — ``benchmarks/bench_hardness.py`` charts the blow-up of
+the brute-force search on these instances.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..tp.parser import parse_pattern
+from ..tp.pattern import TreePattern
+from ..views.view import View
+
+__all__ = [
+    "Hypergraph",
+    "reduction_query",
+    "reduction_views",
+    "random_hypergraph",
+    "matching_hypergraph",
+    "has_perfect_matching",
+]
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """A k-uniform hypergraph over vertices ``1..s``."""
+
+    s: int
+    edges: tuple[frozenset[int], ...]
+
+    @property
+    def k(self) -> int:
+        return len(self.edges[0]) if self.edges else 0
+
+
+def reduction_query(h: Hypergraph) -> TreePattern:
+    """``q = a[1]/a[2]/.../a[s]//b``."""
+    steps = "/".join(f"a[{j}]" for j in range(1, h.s + 1))
+    return parse_pattern(f"{steps}//b")
+
+
+def reduction_views(h: Hypergraph) -> list[View]:
+    """One view per hyperedge, named ``e1..em``."""
+    views = []
+    for index, edge in enumerate(h.edges, start=1):
+        steps = "/".join(
+            f"a[{j}]" if j in edge else "a" for j in range(1, h.s + 1)
+        )
+        views.append(View(f"e{index}", parse_pattern(f"{steps}//b")))
+    return views
+
+
+def has_perfect_matching(h: Hypergraph) -> bool:
+    """Exhaustive reference solver for k-dimensional perfect matching."""
+    universe = frozenset(range(1, h.s + 1))
+
+    def search(remaining: frozenset[int], start: int) -> bool:
+        if not remaining:
+            return True
+        for index in range(start, len(h.edges)):
+            edge = h.edges[index]
+            if edge <= remaining:
+                if search(remaining - edge, index + 1):
+                    return True
+        return False
+
+    if h.k == 0 or h.s % h.k != 0:
+        return not universe
+    return search(universe, 0)
+
+
+def matching_hypergraph(
+    k: int, groups: int, extra_edges: int = 0, seed: int = 0
+) -> Hypergraph:
+    """A k-uniform hypergraph that *has* a perfect matching by construction.
+
+    ``groups`` disjoint edges cover ``s = k·groups`` vertices; ``extra_edges``
+    random distractor edges are mixed in.
+    """
+    rng = random.Random(seed)
+    s = k * groups
+    edges = [frozenset(range(g * k + 1, g * k + k + 1)) for g in range(groups)]
+    vertices = list(range(1, s + 1))
+    for _ in range(extra_edges):
+        edges.append(frozenset(rng.sample(vertices, k)))
+    rng.shuffle(edges)
+    return Hypergraph(s, tuple(edges))
+
+
+def random_hypergraph(k: int, s: int, m: int, seed: int = 0) -> Hypergraph:
+    """``m`` uniformly random k-subsets of ``1..s`` (may lack a matching)."""
+    rng = random.Random(seed)
+    vertices = list(range(1, s + 1))
+    edges = tuple(frozenset(rng.sample(vertices, k)) for _ in range(m))
+    return Hypergraph(s, edges)

@@ -1,0 +1,230 @@
+"""Exact fixtures for every figure and worked example of the paper.
+
+* Figure 1 — the deterministic document ``d_PER``;
+* Figure 2 — the p-document ``P̂_PER``;
+* Figure 3 — the queries ``q_RBON``, ``q_BON`` and views ``v1_BON``, ``v2_BON``;
+* Figure 5 — the counterexample p-documents ``P̂1``/``P̂2`` (Example 11) and
+  ``P̂3``/``P̂4`` (Example 12);
+* Example 16 — the query and four views of the view-decomposition example.
+
+The probability values are the paper's, stored exactly.  Structural choices
+that the figures leave ambiguous (the rasterized figures interleave node
+rows) are pinned down by the worked numbers:
+
+* In ``P̂_PER`` the mux ``n11`` selects Rick (0.75) vs John (0.25) *under*
+  ``name[4]``; this is the only reading under which Example 3 gives
+  ``Pr(d_PER) = 0.4725``, Example 6 gives ``v1_BON(P̂) = {(n5, 0.75)}``
+  *and* ``v2_BON(P̂) = {(n5, 1), (n7, 1)}`` simultaneously.
+* In ``P̂3``/``P̂4`` the shared presence choice is an ``ind`` above the second
+  ``c``-node; with ``(p_e1, p_e2, π) = (0.3, 0.6, 0.4)`` and
+  ``(0.4, 0.8, 0.3)`` respectively, one gets exactly the paper's
+  ``Pr(n_d ∈ q(P3)) = 0.288``, ``Pr(n_d ∈ q(P4)) = 0.264`` and equal view
+  extensions with subtree probabilities 0.12 and 0.24.
+"""
+
+from __future__ import annotations
+
+from ..probability import ProbabilityLike
+from ..pxml.builder import ind, mux, ordinary, pdoc
+from ..pxml.pdocument import PDocument
+from ..tp.parser import parse_pattern
+from ..tp.pattern import TreePattern
+from ..xml.builder import doc, node
+from ..xml.document import Document
+
+__all__ = [
+    "d_per",
+    "p_per",
+    "q_rbon",
+    "q_bon",
+    "v1_bon",
+    "v2_bon",
+    "example11_query",
+    "example11_view",
+    "p1_example11",
+    "p2_example11",
+    "example12_query",
+    "example12_view",
+    "p3_example12",
+    "p4_example12",
+    "example12_family",
+    "example16_query",
+    "example16_views",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the deterministic document d_PER
+# ----------------------------------------------------------------------
+def d_per() -> Document:
+    """Figure 1: the personnel/bonuses document."""
+    return doc(
+        node(1, "IT-personnel",
+             node(2, "person",
+                  node(4, "name", node(8, "Rick")),
+                  node(5, "bonus",
+                       node(24, "laptop", node(25, "44"), node(26, "50")),
+                       node(31, "pda", node(32, "50")))),
+             node(3, "person",
+                  node(6, "name", node(41, "Mary")),
+                  node(7, "bonus",
+                       node(51, "pda", node(54, "15"), node(55, "44"))))))
+
+
+# ----------------------------------------------------------------------
+# Figure 2: the p-document P̂_PER
+# ----------------------------------------------------------------------
+def p_per() -> PDocument:
+    """Figure 2: the probabilistic personnel document."""
+    return pdoc(
+        ordinary(1, "IT-personnel",
+                 ordinary(2, "person",
+                          ordinary(4, "name",
+                                   mux(11,
+                                       (ordinary(8, "Rick"), "0.75"),
+                                       (ordinary(13, "John"), "0.25"))),
+                          ordinary(5, "bonus",
+                                   mux(21,
+                                       (ordinary(22, "pda",
+                                                 ordinary(23, "25")), "0.1"),
+                                       (ordinary(24, "laptop",
+                                                 ordinary(25, "44"),
+                                                 ordinary(26, "50")), "0.9")),
+                                   ordinary(31, "pda", ordinary(32, "50")))),
+                 ordinary(3, "person",
+                          ordinary(6, "name", ordinary(41, "Mary")),
+                          ordinary(7, "bonus",
+                                   ordinary(51, "pda",
+                                            mux(52,
+                                                (ind(53,
+                                                     (ordinary(54, "15"), 1),
+                                                     (ordinary(55, "44"), 1)),
+                                                 "0.7"),
+                                                (ordinary(56, "15"), "0.3")))))))
+
+
+# ----------------------------------------------------------------------
+# Figure 3: queries and views
+# ----------------------------------------------------------------------
+def q_rbon() -> TreePattern:
+    """Rick's bonuses for the Laptop project."""
+    return parse_pattern("IT-personnel//person[name/Rick]/bonus[laptop]")
+
+
+def q_bon() -> TreePattern:
+    """Bonuses for the Laptop project."""
+    return parse_pattern("IT-personnel//person/bonus[laptop]")
+
+
+def v1_bon() -> TreePattern:
+    """Rick's bonuses."""
+    return parse_pattern("IT-personnel//person[name/Rick]/bonus")
+
+
+def v2_bon() -> TreePattern:
+    """All bonuses."""
+    return parse_pattern("IT-personnel//person/bonus")
+
+
+# ----------------------------------------------------------------------
+# Example 11 / Figure 5 (left): q = a/b[c], v = a[.//c]/b
+# ----------------------------------------------------------------------
+def example11_query() -> TreePattern:
+    return parse_pattern("a/b[c]")
+
+
+def example11_view() -> TreePattern:
+    return parse_pattern("a[.//c]/b")
+
+
+def p1_example11() -> PDocument:
+    """``P̂1``: a sure ``c`` beside a 0.65-mux ``b`` that holds a 0.5-mux ``c``.
+
+    ``Pr(b ∈ q(P1)) = 0.65 × 0.5 = 0.325`` while ``Pr(b ∈ v(P1)) = 0.65``.
+    """
+    return pdoc(
+        ordinary(0, "a",
+                 ordinary(1, "c"),
+                 mux(2, (ordinary(3, "b",
+                                  mux(4, (ordinary(5, "c"), "0.5"))), "0.65"))))
+
+
+def p2_example11() -> PDocument:
+    """``P̂2``: sure ``b``; two independent ``c`` chances (0.3 beside, 0.5 below).
+
+    ``Pr(b ∈ q(P2)) = 0.5`` while ``Pr(b ∈ v(P2)) = 1 − 0.7×0.5 = 0.65``,
+    and the view extension equals ``(P̂1)_v`` exactly.
+    """
+    return pdoc(
+        ordinary(0, "a",
+                 mux(1, (ordinary(2, "c"), "0.3")),
+                 ordinary(3, "b",
+                          mux(4, (ordinary(5, "c"), "0.5")))))
+
+
+# ----------------------------------------------------------------------
+# Example 12 / Figure 5 (right): q = a//b[e]/c/b/c//d, v = a//b[e]/c/b/c
+# ----------------------------------------------------------------------
+def example12_query() -> TreePattern:
+    return parse_pattern("a//b[e]/c/b/c//d")
+
+
+def example12_view() -> TreePattern:
+    return parse_pattern("a//b[e]/c/b/c")
+
+
+def example12_family(
+    p_e1: ProbabilityLike, p_e2: ProbabilityLike, p_gate: ProbabilityLike
+) -> PDocument:
+    """The Figure-5-right family: overlapping images of ``b[e]/c/b/c``.
+
+    Structure (ordinary spine ``a/b1/c1/b2/[gate]c2/b3/c3/d``)::
+
+        a ── b1 ──┬── ind{e : p_e1}
+                  └── c1 ── b2 ──┬── ind{e : p_e2}
+                                 └── ind{c2 : p_gate} ── b3 ── c3 ── d
+
+    The view selects ``c2`` with probability ``p_gate·p_e1`` and ``c3`` with
+    ``p_gate·p_e2`` — with *identical* result subtrees for any parameters
+    with equal products — while
+    ``Pr(n_d ∈ q(P)) = p_gate · (p_e1 + p_e2 − p_e1·p_e2)`` differs.
+    """
+    return pdoc(
+        ordinary(0, "a",
+                 ordinary(1, "b",
+                          ind(2, (ordinary(3, "e"), p_e1)),
+                          ordinary(4, "c",
+                                   ordinary(5, "b",
+                                            ind(6, (ordinary(7, "e"), p_e2)),
+                                            ind(8, (ordinary(9, "c",
+                                                             ordinary(10, "b",
+                                                                      ordinary(11, "c",
+                                                                               ordinary(12, "d")))),
+                                                    p_gate)))))))
+
+
+def p3_example12() -> PDocument:
+    """``P̂3``: parameters (0.3, 0.6, 0.4) — ``Pr(n_d ∈ q(P3)) = 0.288``."""
+    return example12_family("0.3", "0.6", "0.4")
+
+
+def p4_example12() -> PDocument:
+    """``P̂4``: parameters (0.4, 0.8, 0.3) — ``Pr(n_d ∈ q(P4)) = 0.264``."""
+    return example12_family("0.4", "0.8", "0.3")
+
+
+# ----------------------------------------------------------------------
+# Example 16: view decompositions
+# ----------------------------------------------------------------------
+def example16_query() -> TreePattern:
+    return parse_pattern("a[1]/b[2]/c[3]/d")
+
+
+def example16_views() -> list[TreePattern]:
+    """``v1..v4`` of Example 16 (pairwise dependent but decomposable)."""
+    return [
+        parse_pattern("a[1]/b/c[3]/d"),
+        parse_pattern("a/b[2]/c[3]/d"),
+        parse_pattern("a[1]/b[2]/c/d"),
+        parse_pattern("a//d"),
+    ]

@@ -1,0 +1,198 @@
+"""Parameterized synthetic workloads for benchmarks and property tests.
+
+Three families:
+
+* random p-documents and random tree patterns (property tests, fuzzing);
+* *personnel*-style documents scaling Figure 1/2's scenario to ``n`` persons
+  and ``p`` projects (the rewrite-vs-direct evaluation benchmarks);
+* structured query/view families with known rewriting behaviour (the
+  PTime-scaling benchmarks for ``TPrewrite``/``TPIrewrite``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Optional, Sequence
+
+from ..pxml.builder import ind, mux, ordinary, pdoc
+from ..pxml.pdocument import PDocument, PNode
+from ..tp import ops
+from ..tp.parser import parse_pattern
+from ..tp.pattern import Axis, PatternNode, TreePattern
+from ..views.view import View
+
+__all__ = [
+    "random_pdocument",
+    "random_tree_pattern",
+    "prefix_views",
+    "personnel_pdocument",
+    "personnel_query",
+    "personnel_views",
+    "chain_query",
+    "chain_views",
+    "adversarial_intersection",
+]
+
+
+# ----------------------------------------------------------------------
+# Random instances (property tests)
+# ----------------------------------------------------------------------
+def random_pdocument(
+    rng: random.Random,
+    labels: Sequence[str] = ("a", "b", "c", "d"),
+    max_depth: int = 4,
+    max_children: int = 3,
+    distributional_bias: float = 0.5,
+) -> PDocument:
+    """A small random p-document over ``labels`` with mux/ind gadgets."""
+    counter = itertools.count(0)
+    probabilities = ["0.2", "0.25", "0.5", "0.75", "0.8"]
+
+    def build_ordinary(depth: int) -> PNode:
+        label = labels[0] if depth == 0 else rng.choice(labels)
+        children = []
+        if depth < max_depth:
+            for _ in range(rng.randint(0, max_children)):
+                children.append(build_child(depth + 1))
+        return ordinary(next(counter), label, *children)
+
+    def build_child(depth: int) -> PNode:
+        roll = rng.random()
+        if roll < distributional_bias / 2:
+            choices = [
+                (build_ordinary(depth), rng.choice(["0.2", "0.3", "0.4"]))
+                for _ in range(rng.randint(1, 2))
+            ]
+            return mux(next(counter), *choices)
+        if roll < distributional_bias:
+            return ind(
+                next(counter), (build_ordinary(depth), rng.choice(probabilities))
+            )
+        return build_ordinary(depth)
+
+    return pdoc(build_ordinary(0))
+
+
+def random_tree_pattern(
+    rng: random.Random,
+    labels: Sequence[str] = ("a", "b", "c", "d"),
+    mb_length: int = 3,
+    desc_probability: float = 0.3,
+    predicate_probability: float = 0.5,
+    max_predicate_size: int = 2,
+) -> TreePattern:
+    """A random TP query with the given main-branch length."""
+    root = PatternNode(labels[0], Axis.CHILD)
+    current = root
+    for _ in range(mb_length - 1):
+        axis = Axis.DESC if rng.random() < desc_probability else Axis.CHILD
+        current = current.add_child(PatternNode(rng.choice(labels), axis))
+    out = current
+    # Snapshot before decorating: predicates must not themselves sprout
+    # predicates, or the walk would chase its own insertions.
+    for node in list(root.iter_subtree()):
+        if rng.random() < predicate_probability:
+            pred = PatternNode(
+                rng.choice(labels),
+                Axis.DESC if rng.random() < desc_probability else Axis.CHILD,
+            )
+            node.add_child(pred)
+            for _ in range(rng.randint(0, max_predicate_size - 1)):
+                pred = pred.add_child(
+                    PatternNode(
+                        rng.choice(labels),
+                        Axis.DESC
+                        if rng.random() < desc_probability
+                        else Axis.CHILD,
+                    )
+                )
+    return TreePattern(root, out)
+
+
+def prefix_views(q: TreePattern, name_prefix: str = "v") -> list[View]:
+    """All prefix views ``q^(k)`` of a query — each satisfies Fact 1 by
+    construction (``comp(q^(k), q_(k)) ≡ q``)."""
+    views = []
+    for k in range(1, q.main_branch_length() + 1):
+        views.append(View(f"{name_prefix}{k}", ops.prefix(q, k)))
+    return views
+
+
+# ----------------------------------------------------------------------
+# Personnel-style scaling family (Figures 1/2 writ large)
+# ----------------------------------------------------------------------
+def personnel_pdocument(
+    persons: int, projects: int = 3, seed: int = 0
+) -> PDocument:
+    """A scaled ``P̂_PER``: ``persons`` persons, probabilistic names/bonuses.
+
+    Node Ids: person ``i`` has id ``100·i``, its bonus ``100·i + 1``;
+    project nodes get sequential ids above ``10^6``.
+    """
+    rng = random.Random(seed)
+    counter = itertools.count(1_000_000)
+    project_names = [f"project{j}" for j in range(projects)]
+    people = []
+    for i in range(1, persons + 1):
+        name_choice = mux(
+            next(counter),
+            (ordinary(next(counter), "Rick"), "0.5"),
+            (ordinary(next(counter), f"emp{i}"), "0.5"),
+        )
+        bonus_children: list[PNode] = []
+        for project in rng.sample(project_names, rng.randint(1, projects)):
+            amount = ordinary(next(counter), str(rng.randint(10, 99)))
+            project_node = ordinary(next(counter), project, amount)
+            if rng.random() < 0.5:
+                bonus_children.append(
+                    mux(next(counter), (project_node, "0.8"))
+                )
+            else:
+                bonus_children.append(project_node)
+        people.append(
+            ordinary(
+                100 * i,
+                "person",
+                ordinary(next(counter), "name", name_choice),
+                ordinary(100 * i + 1, "bonus", *bonus_children),
+            )
+        )
+    return pdoc(ordinary(1, "IT-personnel", *people))
+
+
+def personnel_query(project: str = "project0") -> TreePattern:
+    return parse_pattern(f"IT-personnel//person[name/Rick]/bonus[{project}]")
+
+
+def personnel_views() -> list[View]:
+    return [
+        View("rickbonus", parse_pattern("IT-personnel//person[name/Rick]/bonus")),
+        View("allbonus", parse_pattern("IT-personnel//person/bonus")),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Structured families for decision-procedure scaling
+# ----------------------------------------------------------------------
+def chain_query(length: int, predicate_every: int = 2) -> TreePattern:
+    """``a1/a2[p2]/a3/a4[p4]/...`` — a /-chain with periodic predicates."""
+    steps = []
+    for i in range(1, length + 1):
+        step = f"l{i}"
+        if predicate_every and i % predicate_every == 0:
+            step += f"[p{i}]"
+        steps.append(step)
+    return parse_pattern("/".join(steps))
+
+
+def chain_views(q: TreePattern) -> list[View]:
+    """Prefix views of a chain query (all admit deterministic rewritings)."""
+    return prefix_views(q)
+
+
+def adversarial_intersection(k: int) -> list[TreePattern]:
+    """``a//x1//z ∩ a//x2//z ∩ ...`` — ``k`` patterns whose interleavings
+    are the permutations of ``x1..xk`` (``k!`` of them): the coNP-hardness
+    driver of TP∩ equivalence, measured in ``bench_scaling.py``."""
+    return [parse_pattern(f"a//x{i}//z") for i in range(1, k + 1)]

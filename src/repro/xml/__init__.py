@@ -1,0 +1,14 @@
+"""Deterministic XML substrate: unranked, unordered, labeled trees (paper §2)."""
+
+from .document import DocNode, Document
+from .builder import doc, node
+from .serialize import document_to_text, document_from_text
+
+__all__ = [
+    "DocNode",
+    "Document",
+    "doc",
+    "node",
+    "document_to_text",
+    "document_from_text",
+]

@@ -1,0 +1,44 @@
+"""Concise builders for deterministic documents.
+
+The builder mirrors the way documents are drawn in the paper::
+
+    d_per = doc(
+        node(1, "IT-personnel",
+             node(2, "person",
+                  node(4, "name", node(8, "Rick")),
+                  node(5, "bonus", ...)))
+    )
+
+``node`` builds a detached :class:`DocNode` subtree; ``doc`` wraps the root in
+a validated :class:`Document`.  When Ids are omitted they are auto-assigned
+(negative, to avoid clashing with explicit paper Ids).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .document import DocNode, Document
+
+__all__ = ["node", "doc"]
+
+_auto_ids = itertools.count(-1, -1)
+
+
+def node(node_id: int | None, label: str, *children: DocNode) -> DocNode:
+    """Build a document node with the given children.
+
+    Args:
+        node_id: explicit Id, or ``None`` for an auto-assigned (negative) Id.
+        label: the node label.
+        children: already-built child subtrees.
+    """
+    built = DocNode(next(_auto_ids) if node_id is None else node_id, label)
+    for child in children:
+        built.add_child(child)
+    return built
+
+
+def doc(root: DocNode) -> Document:
+    """Wrap a built subtree into a validated :class:`Document`."""
+    return Document(root)

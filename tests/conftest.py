@@ -1,0 +1,55 @@
+"""Shared fixtures: the paper's figures, ready-made extensions, RNG."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+
+
+@pytest.fixture
+def d_per():
+    return paper.d_per()
+
+
+@pytest.fixture
+def p_per():
+    return paper.p_per()
+
+
+@pytest.fixture
+def q_rbon():
+    return paper.q_rbon()
+
+
+@pytest.fixture
+def q_bon():
+    return paper.q_bon()
+
+
+@pytest.fixture
+def v1_bon():
+    return View("v1BON", paper.v1_bon())
+
+
+@pytest.fixture
+def v2_bon():
+    return View("v2BON", paper.v2_bon())
+
+
+@pytest.fixture
+def ext_v1(p_per, v1_bon):
+    return probabilistic_extension(p_per, v1_bon)
+
+
+@pytest.fixture
+def ext_v2(p_per, v2_bon):
+    return probabilistic_extension(p_per, v2_bon)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(20120827)  # VLDB 2012 started August 27

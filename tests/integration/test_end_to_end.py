@@ -1,0 +1,73 @@
+"""End-to-end integration: rewritings recover exact probabilities on
+realistic scaled workloads, reading only the view extensions."""
+
+from repro.prob import query_answer
+from repro.rewrite import probabilistic_tp_plan, tpi_rewrite, tp_rewrite
+from repro.tp import parse_pattern
+from repro.views import View, probabilistic_extension
+from repro.workloads.synthetic import (
+    personnel_pdocument,
+    personnel_query,
+    personnel_views,
+)
+
+
+class TestPersonnelScenario:
+    def test_single_view_plan_exact(self):
+        p = personnel_pdocument(persons=5, projects=3, seed=11)
+        q = personnel_query("project0")
+        view = personnel_views()[0]  # Rick's bonuses
+        plan = probabilistic_tp_plan(q, view)
+        assert plan is not None
+        ext = probabilistic_extension(p, view)
+        assert plan.evaluate(ext) == query_answer(p, q)
+
+    def test_only_rick_view_yields_a_plan(self):
+        # allbonus loses [name/Rick] above the compensation depth
+        # (Corollary 1: v' must be ≡ q'), so only rickbonus rewrites.
+        q = personnel_query("project1")
+        plans = tp_rewrite(q, personnel_views())
+        assert {plan.view.name for plan in plans} == {"rickbonus"}
+
+    def test_plans_agree_with_each_other(self):
+        p = personnel_pdocument(persons=4, projects=2, seed=23)
+        q = personnel_query("project0")
+        plans = tp_rewrite(q, personnel_views())
+        answers = []
+        for plan in plans:
+            ext = probabilistic_extension(p, plan.view)
+            answers.append(plan.evaluate(ext))
+        assert all(a == answers[0] for a in answers)
+        assert answers[0] == query_answer(p, q)
+
+    def test_tpi_rewrite_on_personnel(self):
+        p = personnel_pdocument(persons=3, projects=2, seed=7)
+        q = personnel_query("project0")
+        views = personnel_views()
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        plan = tpi_rewrite(q, views, exts)
+        assert plan is not None
+        assert plan.evaluate() == query_answer(p, q)
+
+
+class TestMixedWorkload:
+    def test_deep_query_through_shallow_view(self):
+        p = personnel_pdocument(persons=3, projects=3, seed=5)
+        q = parse_pattern(
+            "IT-personnel//person[name/Rick]/bonus[project0][project1]"
+        )
+        view = View("allbonus", parse_pattern("IT-personnel//person/bonus"))
+        plan = probabilistic_tp_plan(q, view)
+        assert plan is None or plan.view.name == "allbonus"
+        if plan is not None:
+            ext = probabilistic_extension(p, view)
+            assert plan.evaluate(ext) == query_answer(p, q)
+
+    def test_view_equals_query(self):
+        p = personnel_pdocument(persons=2, projects=2, seed=2)
+        q = personnel_query("project0")
+        view = View("self", q)
+        plan = probabilistic_tp_plan(q, view)
+        assert plan is not None
+        ext = probabilistic_extension(p, view)
+        assert plan.evaluate(ext) == query_answer(p, q)

@@ -1,0 +1,71 @@
+"""Integration tests for Fact 1 / Proposition 1: node retrieval equivalence.
+
+``Pr(n ∈ q(P)) > 0  ⟺  Pr(n ∈ q_r(P_v)) > 0`` whenever
+``q_r = comp(doc(v)/lbl(v), q_(k))`` is a deterministic TP-rewriting.
+"""
+
+import random
+
+from repro.prob import boolean_probability, query_answer
+from repro.rewrite import fact1_holds, fact1_reformulation_holds
+from repro.tp import ops, parse_pattern
+from repro.views import View, anchor_via_marker, probabilistic_extension
+from repro.views.view import doc_label
+from repro.workloads import paper
+from repro.workloads.synthetic import prefix_views, random_pdocument
+
+
+def extension_pattern(view: View, q):
+    head = parse_pattern(f"{doc_label(view.name)}/{view.pattern.out.label}")
+    return ops.compensation(head, ops.suffix(q, view.pattern.main_branch_length()))
+
+
+class TestProposition1:
+    def test_on_paper_fixture(self, p_per):
+        q = paper.q_rbon()
+        view = View("v1", paper.v1_bon())
+        assert fact1_holds(q, view.pattern)
+        ext = probabilistic_extension(p_per, view)
+        qr = extension_pattern(view, q)
+        direct = query_answer(p_per, q)
+        for n in (5, 7, 4, 24):
+            via_view = boolean_probability(ext.pdocument, anchor_via_marker(qr, n))
+            assert (direct.get(n, 0) > 0) == (via_view > 0)
+
+    def test_on_random_instances(self):
+        rng = random.Random(99)
+        q = parse_pattern("a//b[c]/d")
+        view = View("v", parse_pattern("a//b[c]"))
+        assert fact1_holds(q, view.pattern)
+        qr = extension_pattern(view, q)
+        checked = 0
+        for trial in range(25):
+            p = random_pdocument(rng, labels=("a", "b", "c", "d"), max_depth=4)
+            direct = query_answer(p, q)
+            ext = probabilistic_extension(p, view)
+            for n in [node.node_id for node in p.ordinary_nodes()]:
+                via = boolean_probability(ext.pdocument, anchor_via_marker(qr, n))
+                assert (direct.get(n, 0) > 0) == (via > 0)
+                checked += 1
+        assert checked > 50
+
+
+class TestFact1Criteria:
+    def test_both_formulations_agree_on_random_pairs(self, rng):
+        from repro.workloads.synthetic import random_tree_pattern
+
+        agreements = 0
+        for _ in range(60):
+            q = random_tree_pattern(rng, mb_length=rng.randint(2, 4))
+            v = random_tree_pattern(rng, mb_length=rng.randint(1, 4))
+            assert fact1_holds(q, v) == fact1_reformulation_holds(q, v)
+            agreements += 1
+        assert agreements == 60
+
+    def test_prefix_views_always_rewrite(self, rng):
+        from repro.workloads.synthetic import random_tree_pattern
+
+        for _ in range(20):
+            q = random_tree_pattern(rng, mb_length=rng.randint(2, 4))
+            for view in prefix_views(q):
+                assert fact1_holds(q, view.pattern)

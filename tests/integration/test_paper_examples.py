@@ -1,0 +1,198 @@
+"""Integration tests reproducing every worked example of the paper.
+
+Each test regenerates the numbers printed in the paper *exactly* (all
+arithmetic is rational).  The experiment index in DESIGN.md maps these to
+the benchmark harness; the tests are the correctness gate.
+"""
+
+from fractions import Fraction
+
+from repro.prob import (
+    intersection_answer,
+    node_probability,
+    query_answer,
+)
+from repro.pxml.worlds import enumerate_worlds, world_probability
+from repro.rewrite import probabilistic_tp_plan, theorem3_plan, tpi_rewrite
+from repro.rewrite.multi_view import Theorem3Member
+from repro.tp import equivalent, evaluate, ops, parse_pattern
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+
+F = Fraction
+
+
+class TestExample1and3:
+    def test_document_of_figure1(self, d_per):
+        assert d_per.name == "IT-personnel"
+        assert d_per.size() == 17
+
+    def test_example3_run_probability(self, p_per, d_per):
+        """Pr(d_PER) = 0.75 × 0.9 × 0.7 × 1 × 1 = 0.4725."""
+        assert world_probability(p_per, d_per) == F(4725, 10000)
+
+    def test_px_space_is_a_probability_space(self, p_per):
+        worlds = enumerate_worlds(p_per)
+        assert sum(pr for _, pr in worlds) == 1
+
+
+class TestExample5:
+    def test_deterministic_results(self, d_per):
+        assert evaluate(paper.q_rbon(), d_per) == {5}
+        assert evaluate(paper.q_bon(), d_per) == {5}
+        assert evaluate(paper.v1_bon(), d_per) == {5}
+        assert evaluate(paper.v2_bon(), d_per) == {5, 7}
+
+
+class TestExample6:
+    def test_probabilistic_results(self, p_per):
+        assert query_answer(p_per, paper.q_bon()) == {5: F(9, 10)}
+        assert query_answer(p_per, paper.v1_bon()) == {5: F(3, 4)}
+        assert query_answer(p_per, paper.q_rbon()) == {5: F(9, 10) * F(3, 4)}
+        assert query_answer(p_per, paper.v2_bon()) == {5: F(1), 7: F(1)}
+
+
+class TestExample8:
+    def test_view_extension_structure(self, ext_v1):
+        """Figure 4, right: one bonus subtree with probability 0.75."""
+        assert ext_v1.pdocument.name == "doc(v1BON)"
+        assert ext_v1.selection == {5: F(3, 4)}
+        sub = ext_v1.result_subdocument(5)
+        assert {"laptop", "pda"} <= {n.label for n in sub.ordinary_nodes()}
+
+    def test_v2_extension(self, ext_v2):
+        assert ext_v2.selection == {5: F(1), 7: F(1)}
+
+
+class TestExample9and10:
+    def test_splitting(self):
+        q = paper.q_rbon()
+        assert equivalent(
+            ops.prefix(q, 2),
+            parse_pattern("IT-personnel//person[name/Rick][bonus/laptop]"),
+        )
+        assert ops.suffix(q, 2) == parse_pattern("person[name/Rick]/bonus[laptop]")
+        tokens = ops.tokens(q)
+        assert [t.xpath() for t in tokens] == [
+            "IT-personnel", "person[name/Rick]/bonus[laptop]",
+        ]
+        assert equivalent(ops.q_prime(q, 3),
+                          parse_pattern("IT-personnel//person[name/Rick]/bonus"))
+        assert ops.q_double_prime(q, 3) == parse_pattern(
+            "IT-personnel//person/bonus[laptop]")
+        assert ops.v_prime(paper.v1_bon()) == paper.v1_bon()
+
+
+class TestExample11:
+    """Deterministic rewriting exists; probabilistic rewriting does not."""
+
+    def test_deterministic_rewriting_exists(self):
+        q, v = paper.example11_query(), paper.example11_view()
+        assert equivalent(ops.compensation(v, ops.suffix(q, 2)), q)
+
+    def test_true_probabilities_differ(self):
+        q = paper.example11_query()
+        assert node_probability(paper.p1_example11(), q, 3) == F(13, 40)
+        assert node_probability(paper.p2_example11(), q, 3) == F(1, 2)
+
+    def test_view_cannot_distinguish(self):
+        """(P̂1)_v = (P̂2)_v — the footnote's 0.65 = 1−(1−0.3)(1−0.5)."""
+        v = View("v", paper.example11_view())
+        ext1 = probabilistic_extension(paper.p1_example11(), v)
+        ext2 = probabilistic_extension(paper.p2_example11(), v)
+        assert ext1.selection == {3: F(13, 20)} == ext2.selection
+        assert ext1.pdocument == ext2.pdocument
+
+    def test_no_probabilistic_plan(self):
+        assert probabilistic_tp_plan(
+            paper.example11_query(), View("v", paper.example11_view())
+        ) is None
+
+
+class TestExample12:
+    """The prefix-suffix obstruction for unrestricted rewritings."""
+
+    def test_u_equals_two(self):
+        token = ops.last_token(paper.example12_view())
+        assert ops.token_label_sequence(token) == ["b", "c", "b", "c"]
+        assert ops.max_prefix_suffix(["b", "c", "b", "c"]) == 2
+
+    def test_true_probabilities(self):
+        q = paper.example12_query()
+        assert node_probability(paper.p3_example12(), q, 12) == F(288, 1000)
+        assert node_probability(paper.p4_example12(), q, 12) == F(264, 1000)
+
+    def test_view_answers_match(self):
+        """n_c1 selected with 0.12 and n_c2 with 0.24 in both documents."""
+        v = paper.example12_view()
+        for p in (paper.p3_example12(), paper.p4_example12()):
+            assert query_answer(p, v) == {9: F(12, 100), 11: F(24, 100)}
+
+    def test_extensions_indistinguishable(self):
+        view = View("v", paper.example12_view())
+        ext3 = probabilistic_extension(paper.p3_example12(), view)
+        ext4 = probabilistic_extension(paper.p4_example12(), view)
+        assert ext3.pdocument == ext4.pdocument
+
+    def test_no_probabilistic_plan(self):
+        assert probabilistic_tp_plan(
+            paper.example12_query(), View("v", paper.example12_view())
+        ) is None
+
+
+class TestExample13:
+    def test_restricted_rewriting(self, p_per, v2_bon, ext_v2):
+        plan = probabilistic_tp_plan(paper.q_bon(), v2_bon)
+        assert plan is not None and plan.restricted
+        # Pr(n5 ∈ qBON) = Pr(n5 ∈ qr(Pv)) ÷ Pr(n5 ∈ v_(3)) = 0.9 ÷ 1.
+        assert plan.fr(ext_v2, 5) == F(9, 10)
+        # "For all other nodes ni the probability is 0."
+        assert plan.evaluate(ext_v2) == {5: F(9, 10)}
+
+
+class TestExample15:
+    def test_product_formula(self, p_per, v1_bon, v2_bon):
+        exts = {
+            "v1BON": probabilistic_extension(p_per, v1_bon),
+            "v2BON": probabilistic_extension(p_per, v2_bon),
+        }
+        plan = theorem3_plan(
+            paper.q_rbon(),
+            [Theorem3Member("v1BON", v1_bon),
+             Theorem3Member("v", v2_bon, compensation_depth=3)],
+            exts,
+        )
+        assert plan is not None
+        # 0.75 × 0.9 ÷ 1 = 0.675.
+        assert plan.fr(5) == F(75, 100) * F(9, 10)
+        assert plan.evaluate() == {5: F(27, 40)}
+
+    def test_matches_direct_intersection(self, p_per):
+        direct = intersection_answer(
+            p_per,
+            [paper.v1_bon(), parse_pattern("IT-personnel//person/bonus[laptop]")],
+        )
+        assert direct == {5: F(27, 40)}
+
+
+class TestExample16:
+    def test_certificate_and_answer(self):
+        from repro.pxml import ind, ordinary, pdoc
+
+        q = paper.example16_query()
+        p = pdoc(ordinary(0, "a",
+                          ind(10, (ordinary(11, "1"), "0.9")),
+                          ordinary(1, "b",
+                                   ind(20, (ordinary(21, "2"), "0.8")),
+                                   ordinary(2, "c",
+                                            ind(30, (ordinary(31, "3"), "0.7")),
+                                            ordinary(3, "d")))))
+        views = [View(f"v{i+1}", v) for i, v in enumerate(paper.example16_views())]
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        plan = tpi_rewrite(q, views, exts)
+        assert plan is not None
+        assert plan.exponents == {
+            "v1": F(1, 2), "v2": F(1, 2), "v3": F(1, 2), "v4": F(-1, 2),
+        }
+        expected = {3: F(9, 10) * F(8, 10) * F(7, 10)}
+        assert plan.evaluate() == expected == query_answer(p, q)

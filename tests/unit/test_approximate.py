@@ -1,0 +1,68 @@
+"""Unit tests for the Monte-Carlo approximation layer."""
+
+import random
+
+import pytest
+
+from repro.prob.approximate import (
+    approximate_node_probability,
+    approximate_query_answer,
+    samples_for_guarantee,
+)
+from repro.workloads import paper
+
+
+class TestSampleSize:
+    def test_hoeffding_formula(self):
+        assert samples_for_guarantee(0.1, 0.05) == 185
+
+    def test_tighter_needs_more(self):
+        assert samples_for_guarantee(0.01, 0.05) > samples_for_guarantee(0.1, 0.05)
+
+    @pytest.mark.parametrize("eps,delta", [(0, 0.1), (1, 0.1), (0.1, 0), (0.1, 1)])
+    def test_invalid_parameters(self, eps, delta):
+        with pytest.raises(ValueError):
+            samples_for_guarantee(eps, delta)
+
+
+class TestEstimates:
+    def test_node_probability_close(self, p_per):
+        estimate = approximate_node_probability(
+            p_per, paper.q_rbon(), 5, samples=3000, rng=random.Random(3)
+        )
+        assert abs(estimate - 0.675) < 0.05
+
+    def test_query_answer_close(self, p_per):
+        estimates = approximate_query_answer(
+            p_per, paper.q_bon(), samples=3000, rng=random.Random(4)
+        )
+        assert set(estimates) == {5}
+        assert abs(estimates[5] - 0.9) < 0.05
+
+    def test_sure_results_are_exact(self, p_per):
+        estimates = approximate_query_answer(
+            p_per, paper.v2_bon(), samples=400, rng=random.Random(5)
+        )
+        assert estimates == {5: 1.0, 7: 1.0}
+
+    def test_intersection_estimate(self, p_per):
+        from repro.tp import parse_pattern
+
+        estimates = approximate_query_answer(
+            p_per,
+            paper.q_rbon(),
+            samples=3000,
+            rng=random.Random(6),
+            queries=[paper.v1_bon(),
+                     parse_pattern("IT-personnel//person/bonus[laptop]")],
+        )
+        assert abs(estimates[5] - 0.675) < 0.05
+
+    def test_impossible_query_never_sampled(self, p_per):
+        from repro.tp import parse_pattern
+
+        estimates = approximate_query_answer(
+            p_per, parse_pattern("IT-personnel/bonus"), samples=200,
+            rng=random.Random(7),
+        )
+        assert estimates == {}

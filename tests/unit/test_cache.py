@@ -1,0 +1,78 @@
+"""Unit tests for the RewritingCache facade."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.cache import AnswerSource, RewritingCache
+from repro.errors import NoRewritingError
+from repro.prob import query_answer
+from repro.tp import parse_pattern
+from repro.views import View
+from repro.workloads import paper
+
+F = Fraction
+
+
+class TestMaterialization:
+    def test_materialize_and_list(self, p_per, v2_bon):
+        cache = RewritingCache(p_per)
+        ext = cache.materialize(v2_bon)
+        assert ext.selection == {5: F(1), 7: F(1)}
+        assert [v.name for v in cache.views()] == ["v2BON"]
+
+    def test_duplicate_rejected(self, p_per, v2_bon):
+        cache = RewritingCache(p_per)
+        cache.materialize(v2_bon)
+        with pytest.raises(ValueError):
+            cache.materialize(v2_bon)
+
+    def test_drop(self, p_per, v2_bon):
+        cache = RewritingCache(p_per)
+        cache.materialize(v2_bon)
+        cache.drop("v2BON")
+        assert cache.views() == []
+
+
+class TestAnswering:
+    def test_single_view_strategy(self, p_per, v2_bon):
+        cache = RewritingCache(p_per, strict=True)
+        cache.materialize(v2_bon)
+        result = cache.answer(paper.q_bon())
+        assert result.source is AnswerSource.SINGLE_VIEW
+        assert result.answer == {5: F(9, 10)}
+
+    def test_multi_view_strategy(self, p_per, v1_bon, v2_bon):
+        # q_RBON has no single-view plan over v2BON; with both views the
+        # canonical TP∩ plan (with compensated members) answers it.
+        cache = RewritingCache(p_per, strict=True)
+        cache.materialize(v2_bon)
+        cache.materialize(v1_bon)
+        result = cache.answer(paper.q_rbon())
+        assert result.answer == {5: F(27, 40)}
+        assert result.source in (AnswerSource.SINGLE_VIEW, AnswerSource.MULTI_VIEW)
+
+    def test_strict_mode_raises(self, p_per, v2_bon):
+        cache = RewritingCache(p_per, strict=True)
+        cache.materialize(v2_bon)
+        with pytest.raises(NoRewritingError):
+            cache.answer(parse_pattern("IT-personnel//name"))
+
+    def test_fallback_to_direct(self, p_per, v2_bon):
+        cache = RewritingCache(p_per, strict=False)
+        cache.materialize(v2_bon)
+        q = parse_pattern("IT-personnel//person/name")
+        result = cache.answer(q)
+        assert result.source is AnswerSource.DIRECT
+        assert result.answer == query_answer(p_per, q)
+
+    def test_answerable_decision(self, p_per, v2_bon):
+        cache = RewritingCache(p_per, strict=True)
+        cache.materialize(v2_bon)
+        assert cache.answerable(paper.q_bon())
+        assert not cache.answerable(parse_pattern("IT-personnel//name"))
+
+    def test_empty_cache(self, p_per):
+        cache = RewritingCache(p_per, strict=True)
+        with pytest.raises(NoRewritingError):
+            cache.answer(paper.q_bon())

@@ -1,0 +1,98 @@
+"""Unit tests for c-independence (§4.1, Proposition 2)."""
+
+import pytest
+
+from repro.rewrite import c_independent, c_independent_empirical
+from repro.tp import ops, parse_pattern
+from repro.workloads import paper
+
+
+class TestPaperVerdicts:
+    def test_qbon_v1bon_independent(self):
+        """Stated right after the definition: qBON ⊥ v1BON."""
+        assert c_independent(paper.q_bon(), paper.v1_bon())
+
+    def test_ab_ac_dependent(self):
+        """The paper's non-example: a[b] and a[c] are not c-independent."""
+        assert not c_independent(parse_pattern("a[b]"), parse_pattern("a[c]"))
+
+    def test_example11_dependence(self):
+        """v′ = a[.//c]/b and q″ = a/b[c] must interact (Example 11)."""
+        assert not c_independent(parse_pattern("a[.//c]/b"), parse_pattern("a/b[c]"))
+
+    def test_example12_conditions_hold(self):
+        """Example 12 satisfies Proposition 3 — v′ ⊥ q″ there."""
+        v = paper.example12_view()
+        q = paper.example12_query()
+        assert c_independent(ops.v_prime(v), ops.q_double_prime(q, 5))
+
+    def test_example13_conditions_hold(self):
+        assert c_independent(
+            ops.v_prime(paper.v2_bon()), ops.q_double_prime(paper.q_bon(), 3)
+        )
+
+    def test_example15_views_independent(self):
+        v = parse_pattern("IT-personnel//person/bonus[laptop]")
+        assert c_independent(paper.v1_bon(), v)
+
+    def test_example16_views_pairwise_dependent(self):
+        v1, v2, v3, v4 = paper.example16_views()
+        assert not c_independent(v1, v2)
+        assert not c_independent(v1, v3)
+        assert not c_independent(v2, v3)
+        for v in (v1, v2, v3):
+            assert c_independent(v, v4)
+
+
+class TestStructuralCases:
+    def test_identical_predicates_dependent(self):
+        assert not c_independent(parse_pattern("a[b]"), parse_pattern("a[b]"))
+
+    def test_no_predicates_trivially_independent(self):
+        assert c_independent(parse_pattern("a//b"), parse_pattern("a/x/b"))
+
+    def test_predicates_at_distinct_exact_depths(self):
+        assert c_independent(parse_pattern("a[x]/b/c"), parse_pattern("a/b[y]/c"))
+
+    def test_descendant_predicate_reaches_down(self):
+        assert not c_independent(parse_pattern("a[.//x]/b/c"), parse_pattern("a/b[y]/c"))
+
+    def test_descendant_main_branches_can_align(self):
+        # With //-edges the anchors can coincide, so same-label predicates clash.
+        assert not c_independent(parse_pattern("a//m[x]/b"), parse_pattern("a//m[y]/b"))
+
+    def test_hypergraph_reduction_behaviour(self):
+        """Theorem 4: views are c-independent iff hyperedges are disjoint."""
+        from repro.workloads.hypergraph import Hypergraph, reduction_views
+
+        h = Hypergraph(4, (frozenset({1, 2}), frozenset({3, 4}), frozenset({2, 3})))
+        e1, e2, e3 = (v.pattern for v in reduction_views(h))
+        assert c_independent(e1, e2)       # disjoint
+        assert not c_independent(e1, e3)   # share vertex 2
+        assert not c_independent(e2, e3)   # share vertex 3
+
+    def test_root_label_mismatch_is_independent(self):
+        # The two queries can never co-select a node: trivially independent.
+        assert c_independent(parse_pattern("a[x]/m"), parse_pattern("b[x]/m"))
+
+
+class TestEmpiricalValidator:
+    @pytest.mark.parametrize("e1,e2", [
+        ("a[b]", "a[c]"),
+        ("a[b]", "a[b]"),
+        ("a[.//c]/b", "a/b[c]"),
+    ])
+    def test_definitive_counterexamples(self, e1, e2):
+        """Empirical False ⇒ truly dependent; these must be found quickly."""
+        assert not c_independent_empirical(parse_pattern(e1), parse_pattern(e2),
+                                           trials=30, seed=7)
+
+    def test_independent_verdicts_never_violated(self):
+        """Soundness: syntactically independent pairs show no violation."""
+        pairs = [
+            (paper.q_bon(), paper.v1_bon()),
+            (parse_pattern("a[x]/b/c"), parse_pattern("a/b[y]/c")),
+        ]
+        for q1, q2 in pairs:
+            assert c_independent(q1, q2)
+            assert c_independent_empirical(q1, q2, trials=30, seed=11)

@@ -1,0 +1,86 @@
+"""Unit tests for the command-line interface and p-document round-trips."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import PDocumentError
+from repro.pxml.serialize import pdocument_from_text, pdocument_to_text
+from repro.workloads import paper
+
+
+@pytest.fixture
+def doc_file(tmp_path, p_per):
+    path = tmp_path / "per.pxml"
+    path.write_text(pdocument_to_text(p_per), encoding="utf-8")
+    return str(path)
+
+
+class TestRoundTrip:
+    def test_paper_fixture(self, p_per):
+        assert pdocument_from_text(pdocument_to_text(p_per)) == p_per
+
+    def test_all_counterexample_fixtures(self):
+        for p in (paper.p1_example11(), paper.p2_example11(),
+                  paper.p3_example12(), paper.p4_example12()):
+            assert pdocument_from_text(pdocument_to_text(p)) == p
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(PDocumentError):
+            pdocument_from_text("[1] a\n  [2] mux\n    [3] b\n")
+
+    def test_unexpected_probability_rejected(self):
+        with pytest.raises(PDocumentError):
+            pdocument_from_text("[1] a\n  (0.5) [2] b\n")
+
+    def test_empty_rejected(self):
+        with pytest.raises(PDocumentError):
+            pdocument_from_text("\n")
+
+
+class TestCommands:
+    def test_eval(self, doc_file, capsys):
+        code = main(["eval", doc_file, "IT-personnel//person/bonus[laptop]"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "node 5" in out and "0.9" in out
+
+    def test_eval_empty(self, doc_file, capsys):
+        code = main(["eval", doc_file, "IT-personnel/zzz"])
+        assert code == 0
+        assert "no answers" in capsys.readouterr().out
+
+    def test_worlds(self, doc_file, capsys):
+        code = main(["worlds", doc_file, "--limit", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("Pr =") == 3 and "more worlds" in out
+
+    def test_rewrite_positive(self, doc_file, capsys):
+        code = main([
+            "rewrite", doc_file, "IT-personnel//person/bonus[laptop]",
+            "--view", "IT-personnel//person/bonus", "--evaluate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "restricted rewriting" in out and "node 5" in out
+
+    def test_rewrite_negative(self, doc_file, capsys):
+        code = main([
+            "rewrite", doc_file, "IT-personnel//person/bonus[laptop]",
+            "--view", "IT-personnel//name",
+        ])
+        assert code == 1
+        assert "no probabilistic TP-rewriting" in capsys.readouterr().out
+
+    def test_skeleton(self, capsys):
+        assert main(["skeleton", "a[b//c]/d//e"]) == 0
+        assert main(["skeleton", "a[.//b]//c"]) == 1
+
+    def test_show(self, doc_file, capsys):
+        assert main(["show", doc_file]) == 0
+        assert "IT-personnel" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "q_RBON" in out and "0.675" in out

@@ -1,0 +1,89 @@
+"""Unit tests for view decompositions into d-views (§5.3, Steps 1–4)."""
+
+from fractions import Fraction
+
+from repro.rewrite.decomposition import decompose_pattern, decompose_views
+from repro.tp import ops, parse_pattern
+from repro.workloads import paper
+
+F = Fraction
+
+
+class TestDecomposePattern:
+    def test_example16_query(self):
+        q = paper.example16_query()
+        keys = decompose_pattern(q, ops.mb_pattern(q))
+        # Predicates 1, 2, 3 live at distinct /-depths → three predicate
+        # d-views plus the bare main-branch d-view from node d.
+        assert len(set(keys)) == 4
+
+    def test_bare_view_collapses_to_mb(self):
+        q = paper.example16_query()
+        keys = decompose_pattern(parse_pattern("a//d"), ops.mb_pattern(q))
+        assert len(set(keys)) == 1
+
+    def test_shared_variables_across_views(self):
+        q = paper.example16_query()
+        mb_q = ops.mb_pattern(q)
+        v1, v2, v3, v4 = paper.example16_views()
+        k1 = set(decompose_pattern(v1, mb_q))
+        k2 = set(decompose_pattern(v2, mb_q))
+        k3 = set(decompose_pattern(v3, mb_q))
+        k4 = set(decompose_pattern(v4, mb_q))
+        # v1 and v2 share the [3]-at-c d-view and the mb d-view.
+        assert len(k1 & k2) == 2
+        assert len(k1 & k3) == 2
+        assert k4 <= k1 and k4 <= k2 and k4 <= k3
+
+    def test_dependent_predicates_merge(self):
+        # Both predicates sit on the same node: Step 2 merges them into one
+        # d-view (their probabilities are not independent).
+        q = parse_pattern("a[x][y]/b")
+        keys = decompose_pattern(q, ops.mb_pattern(q))
+        predicate_keys = set(keys)
+        # One merged predicate unit + the bare mb unit from node b.
+        assert len(predicate_keys) == 2
+
+    def test_middle_token_bulk(self):
+        # Middle-token predicates cannot be positioned unambiguously: one bulk.
+        v = parse_pattern("a//m1[x]//m2[y]//b")
+        q = parse_pattern("a//m1//m2//b")
+        keys = decompose_pattern(v, ops.mb_pattern(q))
+        assert len(keys) >= 1
+
+
+class TestSystem:
+    def test_example16_certificate(self):
+        q = paper.example16_query()
+        tagged = [(f"v{i+1}", v) for i, v in enumerate(paper.example16_views())]
+        system = decompose_views(q, tagged)
+        cert = system.certificate()
+        assert cert == {
+            "v1": F(1, 2),
+            "v2": F(1, 2),
+            "v3": F(1, 2),
+            "v4": F(-1, 2),
+        }
+
+    def test_unsolvable_without_coverage(self):
+        # Views covering only predicates 1 and 2 cannot express predicate 3.
+        q = paper.example16_query()
+        v1, v2, v3, v4 = paper.example16_views()
+        system = decompose_views(q, [("v3", v3), ("v4", v4)])
+        assert not system.solvable()
+
+    def test_identical_view_is_trivial_certificate(self):
+        q = paper.example16_query()
+        system = decompose_views(q, [("self", q)])
+        assert system.certificate() == {"self": F(1)}
+
+    def test_two_views_suffice_with_appearance(self):
+        # v1 ∩ v2 is a deterministic rewriting but S(q, {v1, v2}) cannot
+        # single out Pr(n ∈ q): predicate 3 is double-counted.
+        q = paper.example16_query()
+        v1, v2, _, v4 = paper.example16_views()
+        assert not decompose_views(q, [("v1", v1), ("v2", v2)]).solvable()
+        # Adding the appearance view v4 still leaves x3 double-counted.
+        assert not decompose_views(
+            q, [("v1", v1), ("v2", v2), ("v4", v4)]
+        ).solvable()

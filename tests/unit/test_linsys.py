@@ -1,0 +1,119 @@
+"""Unit tests for the exact linear algebra (certificates, roots, powers)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import LinearSystemError
+from repro.rewrite.linsys import (
+    ExactLinearSystem,
+    exact_power,
+    exact_root,
+    solve_exact,
+)
+
+F = Fraction
+
+
+class TestSolveExact:
+    def test_simple_combination(self):
+        rows = [[F(1), F(0)], [F(0), F(1)]]
+        assert solve_exact(rows, [F(2), F(3)]) == [F(2), F(3)]
+
+    def test_dependent_rows(self):
+        rows = [[F(1), F(1)], [F(2), F(2)]]
+        solution = solve_exact(rows, [F(3), F(3)])
+        assert solution is not None
+        combo = [
+            solution[0] * rows[0][i] + solution[1] * rows[1][i] for i in range(2)
+        ]
+        assert combo == [F(3), F(3)]
+
+    def test_not_in_rowspace(self):
+        rows = [[F(1), F(1)]]
+        assert solve_exact(rows, [F(1), F(2)]) is None
+
+    def test_example16_certificate(self):
+        # Rows over (x1, x2, x3, appearance); target = query row.
+        rows = [
+            [F(1), F(0), F(1), F(1)],
+            [F(0), F(1), F(1), F(1)],
+            [F(1), F(1), F(0), F(1)],
+            [F(0), F(0), F(0), F(1)],
+        ]
+        target = [F(1), F(1), F(1), F(1)]
+        solution = solve_exact(rows, target)
+        assert solution == [F(1, 2), F(1, 2), F(1, 2), F(-1, 2)]
+
+    def test_empty_system(self):
+        assert solve_exact([], [F(1)]) is None
+
+
+class TestExactLinearSystem:
+    def test_tagged_certificate(self):
+        system = ExactLinearSystem(["x", "y", "app"])
+        system.add_row("v1", {"x": F(1), "app": F(1)})
+        system.add_row("v2", {"y": F(1), "app": F(1)})
+        system.add_row("vapp", {"app": F(1)})
+        cert = system.certificate({"x": F(1), "y": F(1), "app": F(1)})
+        assert cert == {"v1": F(1), "v2": F(1), "vapp": F(-1)}
+
+    def test_missing_appearance_makes_unsolvable(self):
+        # Without a bare-appearance row, v1 + v2 over-counts `app`.
+        system = ExactLinearSystem(["x", "y", "app"])
+        system.add_row("v1", {"x": F(1), "app": F(1)})
+        system.add_row("v2", {"y": F(1), "app": F(1)})
+        assert system.certificate({"x": F(1), "y": F(1), "app": F(1)}) is None
+
+    def test_unsolvable(self):
+        system = ExactLinearSystem(["x", "app"])
+        system.add_row("v1", {"x": F(1), "app": F(1)})
+        assert system.certificate({"app": F(1)}) is None
+
+
+class TestRoots:
+    def test_square_root(self):
+        assert exact_root(F(9, 4), 2) == F(3, 2)
+
+    def test_cube_root(self):
+        assert exact_root(F(27, 125), 3) == F(3, 5)
+
+    def test_irrational_rejected(self):
+        with pytest.raises(LinearSystemError):
+            exact_root(F(2), 2)
+
+    def test_degree_one(self):
+        assert exact_root(F(7, 3), 1) == F(7, 3)
+
+    def test_zero_and_one(self):
+        assert exact_root(F(0), 5) == 0
+        assert exact_root(F(1), 5) == 1
+
+    def test_large_values(self):
+        value = F(10**30)
+        assert exact_root(value * value, 2) == value
+
+
+class TestExactPower:
+    def test_integral(self):
+        assert exact_power([(F(1, 2), F(2)), (F(3), F(-1))]) == F(1, 12)
+
+    def test_half_exponents_example16_shape(self):
+        # (v1·v2·v3/v4)^(1/2) with a perfect-square product.
+        target = F(63, 125)
+        v4 = F(1)
+        product_should_be = target**2
+        factors = [
+            (product_should_be, F(1, 2)),
+        ]
+        assert exact_power(factors) == target
+
+    def test_mixed_denominators(self):
+        assert exact_power([(F(4), F(1, 2)), (F(8), F(1, 3))]) == F(4)
+
+    def test_empty(self):
+        assert exact_power([]) == F(1)
+
+    def test_zero_base_negative_exponent(self):
+        with pytest.raises(LinearSystemError):
+            exact_power([(F(0), F(-1))])

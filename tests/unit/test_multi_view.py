@@ -1,0 +1,147 @@
+"""Unit tests for TP∩-rewritings (§5): Theorem 3, subset selection, TPIrewrite."""
+
+from fractions import Fraction
+
+from repro.prob import query_answer
+from repro.pxml import ind, ordinary, pdoc
+from repro.rewrite import (
+    appearance_view_exists,
+    find_c_independent_subset,
+    theorem3_plan,
+    tpi_rewrite,
+)
+from repro.rewrite.multi_view import Theorem3Member
+from repro.tp import parse_pattern
+from repro.views import View, probabilistic_extension
+from repro.workloads import paper
+from repro.workloads.hypergraph import (
+    Hypergraph,
+    has_perfect_matching,
+    matching_hypergraph,
+    reduction_query,
+    reduction_views,
+)
+
+F = Fraction
+
+
+def independent_gadget_document():
+    """a → [1](0.9) ; b → [2](0.8) ; c → [3](0.7) ; d — Example 16 shaped."""
+    return pdoc(ordinary(0, "a",
+                         ind(10, (ordinary(11, "1"), "0.9")),
+                         ordinary(1, "b",
+                                  ind(20, (ordinary(21, "2"), "0.8")),
+                                  ordinary(2, "c",
+                                           ind(30, (ordinary(31, "3"), "0.7")),
+                                           ordinary(3, "d")))))
+
+
+class TestLemma3:
+    def test_appearance_view_exists(self):
+        q = paper.example16_query()
+        assert appearance_view_exists(q, [paper.example16_views()[3]])
+        assert not appearance_view_exists(q, paper.example16_views()[:3])
+
+
+class TestTheorem3:
+    def test_example15(self, p_per, v1_bon, v2_bon):
+        exts = {
+            "v1BON": probabilistic_extension(p_per, v1_bon),
+            "v2BON": probabilistic_extension(p_per, v2_bon),
+        }
+        members = [
+            Theorem3Member("v1BON", v1_bon),
+            Theorem3Member("v", v2_bon, compensation_depth=3),
+        ]
+        plan = theorem3_plan(paper.q_rbon(), members, exts)
+        assert plan is not None
+        assert plan.evaluate() == {5: F(27, 40)}
+
+    def test_rejects_dependent_views(self):
+        q = paper.example16_query()
+        views = [View(f"v{i+1}", v) for i, v in enumerate(paper.example16_views())]
+        p = independent_gadget_document()
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        assert theorem3_plan(q, views, exts) is None  # v1..v3 pairwise dependent
+
+    def test_rejects_without_appearance_view(self):
+        p = independent_gadget_document()
+        q = parse_pattern("a[1]/b/c/d")
+        views = [View("w", parse_pattern("a[1]/b/c/d"))]
+        # Single view = the query itself but no mb(q)-containing view... the
+        # view *is* the query; mb(q) ⊑ w fails due to predicate [1].
+        exts = {"w": probabilistic_extension(p, views[0].pattern and views[0])}
+        assert theorem3_plan(q, views, exts) is None
+
+    def test_disjoint_predicates_product(self):
+        p = independent_gadget_document()
+        q = parse_pattern("a[1]/b[2]/c/d")
+        views = [
+            View("w1", parse_pattern("a[1]/b/c/d")),
+            View("w2", parse_pattern("a/b[2]/c/d")),
+            View("wapp", parse_pattern("a/b/c/d")),
+        ]
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        plan = theorem3_plan(q, views, exts)
+        assert plan is not None
+        assert plan.evaluate() == query_answer(p, q)
+        assert plan.evaluate() == {3: F(9, 10) * F(8, 10)}
+
+
+class TestSubsetSelection:
+    def test_matching_instance_found(self):
+        h = matching_hypergraph(k=2, groups=2, extra_edges=1, seed=3)
+        q = reduction_query(h)
+        views = reduction_views(h)
+        subset = find_c_independent_subset(q, views)
+        assert subset is not None
+        # The subset's hyperedges partition the vertex set.
+        covered = set()
+        for view in subset:
+            preds = {
+                int(p.label)
+                for p in view.pattern.predicate_nodes()
+                if p.label.isdigit()
+            }
+            assert not (covered & preds)
+            covered |= preds
+        assert covered == set(range(1, h.s + 1))
+
+    def test_no_matching_no_subset(self):
+        # All edges share vertex 1: no two disjoint edges can cover 1..4.
+        h = Hypergraph(4, (frozenset({1, 2}), frozenset({1, 3}),
+                           frozenset({1, 4})))
+        assert not has_perfect_matching(h)
+        subset = find_c_independent_subset(reduction_query(h), reduction_views(h))
+        assert subset is None
+
+
+class TestTPIrewrite:
+    def test_example16_end_to_end(self):
+        q = paper.example16_query()
+        p = independent_gadget_document()
+        views = [View(f"v{i+1}", v) for i, v in enumerate(paper.example16_views())]
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        plan = tpi_rewrite(q, views, exts)
+        assert plan is not None
+        assert plan.exponents["v1"] == F(1, 2)
+        assert plan.evaluate() == query_answer(p, q)
+
+    def test_insufficient_views_rejected(self):
+        q = paper.example16_query()
+        p = independent_gadget_document()
+        views = [View("v3", paper.example16_views()[2]),
+                 View("v4", paper.example16_views()[3])]
+        exts = {v.name: probabilistic_extension(p, v) for v in views}
+        assert tpi_rewrite(q, views, exts) is None
+
+    def test_compensated_views_recovered(self, p_per, v1_bon, v2_bon):
+        """TPIrewrite adds comp(v, q_(a)) members (§5.4) automatically."""
+        q = paper.q_rbon()
+        exts = {
+            "v1BON": probabilistic_extension(p_per, v1_bon),
+            "v2BON": probabilistic_extension(p_per, v2_bon),
+        }
+        plan = tpi_rewrite(q, [v1_bon, v2_bon], exts)
+        assert plan is not None
+        assert plan.evaluate() == query_answer(p_per, q)

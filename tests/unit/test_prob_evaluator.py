@@ -1,0 +1,124 @@
+"""Unit tests for the exact probabilistic evaluator (goal-set DP)."""
+
+from fractions import Fraction
+
+from repro.prob import (
+    boolean_probability,
+    brute_force_node_probability,
+    brute_force_query_answer,
+    conditional_node_probability,
+    intersection_answer,
+    intersection_node_probability,
+    node_probability,
+    query_answer,
+)
+from repro.pxml import ind, mux, ordinary, pdoc
+from repro.tp import parse_pattern
+from repro.workloads import paper
+
+
+class TestPaperValues:
+    def test_example6(self, p_per):
+        assert query_answer(p_per, paper.q_bon()) == {5: Fraction(9, 10)}
+        assert query_answer(p_per, paper.v1_bon()) == {5: Fraction(3, 4)}
+        assert query_answer(p_per, paper.q_rbon()) == {5: Fraction(27, 40)}
+        assert query_answer(p_per, paper.v2_bon()) == {
+            5: Fraction(1),
+            7: Fraction(1),
+        }
+
+    def test_example11_probabilities(self):
+        q, v = paper.example11_query(), paper.example11_view()
+        p1, p2 = paper.p1_example11(), paper.p2_example11()
+        assert node_probability(p1, q, 3) == Fraction(13, 40)  # 0.325
+        assert node_probability(p2, q, 3) == Fraction(1, 2)
+        assert node_probability(p1, v, 3) == Fraction(13, 20)  # 0.65
+        assert node_probability(p2, v, 3) == Fraction(13, 20)
+
+    def test_example12_probabilities(self):
+        q = paper.example12_query()
+        assert node_probability(paper.p3_example12(), q, 12) == Fraction(36, 125)
+        assert node_probability(paper.p4_example12(), q, 12) == Fraction(33, 125)
+
+
+class TestAgainstBruteForce:
+    def test_full_fixture(self, p_per):
+        for q in (paper.q_rbon(), paper.q_bon(), paper.v1_bon(), paper.v2_bon()):
+            assert query_answer(p_per, q) == brute_force_query_answer(p_per, q)
+
+    def test_counterexample_fixtures(self):
+        q = paper.example12_query()
+        for p in (paper.p3_example12(), paper.p4_example12()):
+            assert node_probability(p, q, 12) == brute_force_node_probability(
+                p, q, 12
+            )
+
+
+class TestSemantics:
+    def test_descendant_is_proper(self):
+        p = pdoc(ordinary(0, "a", ordinary(1, "a")))
+        assert boolean_probability(p, parse_pattern("a//a")) == 1
+        assert query_answer(p, parse_pattern("a//a")) == {1: Fraction(1)}
+
+    def test_mux_exclusivity(self):
+        p = pdoc(ordinary(0, "a", mux(1, (ordinary(2, "b"), "0.5"),
+                                         (ordinary(3, "c"), "0.5"))))
+        both = boolean_probability(p, parse_pattern("a[b][c]"))
+        assert both == 0
+
+    def test_ind_independence(self):
+        p = pdoc(ordinary(0, "a", ind(1, (ordinary(2, "b"), "0.5"),
+                                         (ordinary(3, "c"), "0.5"))))
+        assert boolean_probability(p, parse_pattern("a[b][c]")) == Fraction(1, 4)
+
+    def test_distributional_chain_pass_through(self):
+        p = pdoc(ordinary(0, "a",
+                          mux(1, (ind(2, (ordinary(3, "b"), "0.5")), "0.5"))))
+        # b becomes a /-child of a when both choices keep it.
+        assert boolean_probability(p, parse_pattern("a/b")) == Fraction(1, 4)
+
+    def test_anchoring_distinguishes_nodes(self, p_per):
+        q = paper.v2_bon()
+        assert node_probability(p_per, q, 5) == 1
+        assert node_probability(p_per, q, 4) == 0  # a name node, not a bonus
+
+    def test_conditional_probability(self, p_per):
+        # Pr(n24 ∈ q(P) | n24 ∈ P) for q selecting the laptop node.
+        q = parse_pattern("IT-personnel//person/bonus/laptop")
+        assert node_probability(p_per, q, 24) == Fraction(9, 10)
+        assert conditional_node_probability(p_per, q, 24) == 1
+
+    def test_same_label_siblings(self):
+        p = pdoc(ordinary(0, "a",
+                          ind(1, (ordinary(2, "b"), "0.5")),
+                          ind(3, (ordinary(4, "b"), "0.5"))))
+        q = parse_pattern("a/b")
+        assert node_probability(p, q, 2) == Fraction(1, 2)
+        assert boolean_probability(p, q) == Fraction(3, 4)
+
+
+class TestIntersections:
+    def test_joint_correlation_mux(self):
+        p = pdoc(ordinary(0, "a",
+                          mux(1,
+                              (ordinary(2, "n", ordinary(3, "b")), "0.5"),
+                              (ordinary(4, "n", ordinary(5, "c")), "0.5"))))
+        q1 = parse_pattern("a/n[b]")
+        q2 = parse_pattern("a/n[c]")
+        # Each alone selects its node with 1/2 but jointly never the same node.
+        assert intersection_node_probability(p, [q1, q2], 2) == 0
+        assert intersection_node_probability(p, [q1, q2], 4) == 0
+
+    def test_joint_correlation_shared(self):
+        p = pdoc(ordinary(0, "a",
+                          ordinary(1, "n", ind(2, (ordinary(3, "b"), "0.5")))))
+        q1 = parse_pattern("a/n[b]")
+        q2 = parse_pattern("a/n[b]")
+        assert intersection_node_probability(p, [q1, q2], 1) == Fraction(1, 2)
+
+    def test_example15_intersection(self, p_per):
+        answer = intersection_answer(
+            p_per,
+            [paper.v1_bon(), parse_pattern("IT-personnel//person/bonus[laptop]")],
+        )
+        assert answer == {5: Fraction(27, 40)}

@@ -1,0 +1,63 @@
+"""Unit tests for exact probability conversion."""
+
+from decimal import Decimal
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProbabilityError
+from repro.probability import as_fraction, as_probability, prob_str
+
+
+class TestAsFraction:
+    def test_float_is_decimal_faithful(self):
+        assert as_fraction(0.1) == Fraction(1, 10)
+
+    def test_float_three_quarters(self):
+        assert as_fraction(0.75) == Fraction(3, 4)
+
+    def test_string(self):
+        assert as_fraction("0.4725") == Fraction(189, 400)
+
+    def test_decimal(self):
+        assert as_fraction(Decimal("0.25")) == Fraction(1, 4)
+
+    def test_int(self):
+        assert as_fraction(1) == Fraction(1)
+
+    def test_fraction_passthrough(self):
+        value = Fraction(7, 9)
+        assert as_fraction(value) is value
+
+    def test_bool_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(True)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProbabilityError):
+            as_fraction(object())  # type: ignore[arg-type]
+
+
+class TestAsProbability:
+    def test_range_low(self):
+        with pytest.raises(ProbabilityError):
+            as_probability(-0.1)
+
+    def test_range_high(self):
+        with pytest.raises(ProbabilityError):
+            as_probability("1.5")
+
+    def test_bounds_inclusive(self):
+        assert as_probability(0) == 0
+        assert as_probability(1) == 1
+
+
+class TestProbStr:
+    def test_terminating_decimal(self):
+        assert prob_str(Fraction(189, 400)) == "0.4725"
+
+    def test_non_terminating(self):
+        assert "1/3" in prob_str(Fraction(1, 3))
+
+    def test_integer(self):
+        assert prob_str(Fraction(1)).startswith("1")

@@ -1,0 +1,94 @@
+"""Contract tests for the public package surface and error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackages_importable(self):
+        import repro.cache
+        import repro.cli
+        import repro.prob.approximate
+        import repro.rewrite.decomposition
+        import repro.tpi.skeleton
+        import repro.workloads.hypergraph
+
+        assert repro.cache.RewritingCache is not None
+        assert repro.cli.main is not None
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("name", [
+        "DocumentError", "PDocumentError", "PatternError",
+        "PatternParseError", "CompensationError", "IntersectionError",
+        "UnsatisfiableIntersectionError", "RewritingError",
+        "NoRewritingError", "ProbabilityError", "LinearSystemError",
+    ])
+    def test_all_derive_from_repro_error(self, name):
+        cls = getattr(errors, name)
+        assert issubclass(cls, errors.ReproError)
+
+    def test_specializations(self):
+        assert issubclass(errors.PatternParseError, errors.PatternError)
+        assert issubclass(errors.CompensationError, errors.PatternError)
+        assert issubclass(
+            errors.UnsatisfiableIntersectionError, errors.IntersectionError
+        )
+        assert issubclass(errors.NoRewritingError, errors.RewritingError)
+
+    def test_single_except_clause_suffices(self):
+        from repro import parse_pattern
+
+        with pytest.raises(errors.ReproError):
+            parse_pattern("a[")
+
+
+class TestConvenienceConversions:
+    def test_prob_str_examples(self):
+        from fractions import Fraction
+
+        from repro import prob_str
+
+        assert prob_str(Fraction(27, 40)) == "0.675"
+        assert prob_str(Fraction(9, 10)) == "0.9"
+
+    def test_as_probability_accepts_mixed_types(self):
+        from fractions import Fraction
+
+        from repro import as_probability
+
+        assert as_probability("0.75") == as_probability(0.75) == Fraction(3, 4)
+
+
+class TestDocstrings:
+    def test_every_public_module_documented(self):
+        import importlib
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        missing = []
+        for info in pkgutil.walk_packages(package.__path__, "repro."):
+            if info.name.endswith("__main__"):
+                continue  # importing it would run the CLI
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"undocumented modules: {missing}"
+
+    def test_core_classes_documented(self):
+        from repro import Document, PDocument, TreePattern, View
+        from repro.cache import RewritingCache
+        from repro.rewrite import TPIRewritePlan, TPRewritePlan
+
+        for cls in (Document, PDocument, TreePattern, View,
+                    RewritingCache, TPRewritePlan, TPIRewritePlan):
+            assert (cls.__doc__ or "").strip(), cls

@@ -1,0 +1,111 @@
+"""Unit tests for p-documents (Definition 1 validation + accessors)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PDocumentError
+from repro.pxml import PDocument, PNodeKind, det, ind, mux, ordinary, pdoc
+from repro.workloads import paper
+
+
+class TestValidation:
+    def test_distributional_root_rejected(self):
+        with pytest.raises(PDocumentError):
+            pdoc_root = mux(1, (ordinary(2, "a"), "0.5"))
+            PDocument(pdoc_root)
+
+    def test_distributional_leaf_rejected(self):
+        with pytest.raises(PDocumentError):
+            bad = ordinary(1, "a")
+            bad.add_child(mux(2).__class__(2, PNodeKind.MUX))  # empty mux leaf
+            pdoc(bad)
+
+    def test_mux_overflow_rejected(self):
+        with pytest.raises(PDocumentError):
+            pdoc(ordinary(1, "a",
+                          mux(2, (ordinary(3, "b"), "0.7"),
+                                 (ordinary(4, "c"), "0.7"))))
+
+    def test_ind_may_exceed_one_total(self):
+        p = pdoc(ordinary(1, "a",
+                          ind(2, (ordinary(3, "b"), "0.7"),
+                                 (ordinary(4, "c"), "0.7"))))
+        assert p.size() == 4
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(Exception):
+            pdoc(ordinary(1, "a", mux(2, (ordinary(3, "b"), "1.5"))))
+
+    def test_duplicate_ids(self):
+        with pytest.raises(PDocumentError):
+            pdoc(ordinary(1, "a", ordinary(1, "b")))
+
+    def test_det_builder_is_sure_ind(self):
+        p = pdoc(ordinary(1, "a", det(2, ordinary(3, "b"), ordinary(4, "c"))))
+        assert p.appearance_probability(3) == 1
+        assert p.appearance_probability(4) == 1
+
+
+class TestAccessors:
+    def test_paper_document_size(self):
+        p = paper.p_per()
+        # 21 ordinary nodes + 4 distributional (11, 21, 52, 53).
+        assert len(p.ordinary_nodes()) == 21
+        assert len(p.distributional_nodes()) == 4
+
+    def test_appearance_probability(self):
+        p = paper.p_per()
+        assert p.appearance_probability(8) == Fraction(3, 4)     # Rick
+        assert p.appearance_probability(24) == Fraction(9, 10)   # laptop
+        assert p.appearance_probability(5) == 1                  # bonus n5
+        assert p.appearance_probability(54) == Fraction(7, 10)   # 15 under ind
+
+    def test_ancestors_or_self_ordinary(self):
+        p = paper.p_per()
+        ids = [n.node_id for n in p.ancestors_or_self_ordinary(25)]
+        assert ids == [25, 24, 5, 2, 1]
+
+    def test_is_ancestor_or_self(self):
+        p = paper.p_per()
+        assert p.is_ancestor_or_self(5, 25)
+        assert p.is_ancestor_or_self(25, 25)
+        assert not p.is_ancestor_or_self(25, 5)
+        assert p.is_ancestor_or_self(21, 24)  # through the mux
+
+    def test_subdocument(self):
+        p = paper.p_per()
+        sub = p.subdocument(5)
+        assert sub.root.node_id == 5
+        assert sub.has_node(24) and sub.has_node(22)
+        assert not sub.has_node(4)
+
+    def test_subdocument_of_distributional_rejected(self):
+        with pytest.raises(PDocumentError):
+            paper.p_per().subdocument(21)
+
+    def test_max_world_contracts_distributional(self):
+        world = paper.p_per().max_world()
+        assert world.has_node(22) and world.has_node(24)  # both mux children
+        assert not world.has_node(21)
+        # laptop attaches to bonus (closest ordinary ancestor)
+        assert world.node(24).parent.node_id == 5
+
+    def test_effective_children(self):
+        p = paper.p_per()
+        ids = {c.node_id for c in p.effective_children(p.node(5))}
+        assert ids == {22, 24, 31}
+
+
+class TestEquality:
+    def test_example12_pair_not_equal_with_probabilities(self):
+        assert paper.p3_example12() != paper.p4_example12()
+
+    def test_self_equality(self):
+        assert paper.p_per() == paper.p_per()
+
+    def test_shape_only(self):
+        p3 = paper.p3_example12()
+        p4 = paper.p4_example12()
+        # Same shape, different probabilities — distinguishable even without Ids.
+        assert p3.canonical_key(with_ids=False) != p4.canonical_key(with_ids=False)

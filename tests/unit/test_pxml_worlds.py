@@ -1,0 +1,65 @@
+"""Unit tests for possible-world enumeration (the px-space semantics)."""
+
+from fractions import Fraction
+
+from repro.pxml import enumerate_worlds, ind, mux, ordinary, pdoc, sample_world
+from repro.pxml.worlds import world_probability
+from repro.workloads import paper
+
+
+class TestEnumeration:
+    def test_probabilities_sum_to_one(self):
+        for p in (paper.p_per(), paper.p1_example11(), paper.p3_example12()):
+            worlds = enumerate_worlds(p)
+            assert sum(pr for _, pr in worlds) == 1
+
+    def test_simple_mux_worlds(self):
+        p = pdoc(ordinary(0, "a", mux(1, (ordinary(2, "b"), "0.6"),
+                                         (ordinary(3, "c"), "0.3"))))
+        worlds = {frozenset(w.node_ids()): pr for w, pr in enumerate_worlds(p)}
+        assert worlds[frozenset({0, 2})] == Fraction(3, 5)
+        assert worlds[frozenset({0, 3})] == Fraction(3, 10)
+        assert worlds[frozenset({0})] == Fraction(1, 10)
+
+    def test_ind_worlds(self):
+        p = pdoc(ordinary(0, "a", ind(1, (ordinary(2, "b"), "0.5"),
+                                         (ordinary(3, "c"), "0.5"))))
+        worlds = enumerate_worlds(p)
+        assert len(worlds) == 4
+        assert all(pr == Fraction(1, 4) for _, pr in worlds)
+
+    def test_runs_merged_into_worlds(self):
+        # mux over mux: "outer none" and "outer->inner, inner none" both give {a}.
+        p = pdoc(ordinary(0, "a",
+                          mux(1, (ordinary(2, "b",
+                                           mux(3, (ordinary(4, "c"), "0.5"))),
+                                  "0.5"))))
+        worlds = {frozenset(w.node_ids()): pr for w, pr in enumerate_worlds(p)}
+        assert worlds == {
+            frozenset({0}): Fraction(1, 2),
+            frozenset({0, 2}): Fraction(1, 4),
+            frozenset({0, 2, 4}): Fraction(1, 4),
+        }
+
+    def test_world_probability_of_dper(self):
+        # Example 3: Pr(d_PER) = 0.4725.
+        assert world_probability(paper.p_per(), paper.d_per()) == Fraction(189, 400)
+
+    def test_deleted_distributional_reattaches_children(self):
+        p = pdoc(ordinary(0, "a", ind(1, (ordinary(2, "b"), 1))))
+        (world, pr), = enumerate_worlds(p)
+        assert pr == 1
+        assert world.node(2).parent.node_id == 0
+
+
+class TestSampling:
+    def test_sampled_worlds_are_worlds(self, rng):
+        p = paper.p1_example11()
+        valid = {w.canonical_key() for w, _ in enumerate_worlds(p)}
+        for _ in range(50):
+            assert sample_world(p, rng).canonical_key() in valid
+
+    def test_sampling_frequencies_roughly_match(self, rng):
+        p = pdoc(ordinary(0, "a", mux(1, (ordinary(2, "b"), "0.7"))))
+        hits = sum(sample_world(p, rng).has_node(2) for _ in range(600))
+        assert 330 <= hits <= 510  # ±6 sigma around 420

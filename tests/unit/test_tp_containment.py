@@ -1,0 +1,99 @@
+"""Unit tests for containment mappings, equivalence, isomorphism."""
+
+from repro.tp import contains, equivalent, parse_pattern
+from repro.tp.containment import (
+    contained,
+    contains_boolean,
+    containment_mapping,
+    isomorphic,
+    mapping_witness,
+)
+from repro.workloads import paper
+
+
+class TestContains:
+    def test_paper_claims(self):
+        # q_RBON ⊑ v2BON, q_BON, v1BON; the latter two incomparable.
+        q = paper.q_rbon()
+        assert contains(paper.v2_bon(), q)
+        assert contains(paper.q_bon(), q)
+        assert contains(paper.v1_bon(), q)
+        assert not contains(paper.q_bon(), paper.v1_bon())
+        assert not contains(paper.v1_bon(), paper.q_bon())
+
+    def test_child_into_descendant(self):
+        assert contains(parse_pattern("a//b"), parse_pattern("a/b"))
+        assert not contains(parse_pattern("a/b"), parse_pattern("a//b"))
+
+    def test_predicate_weakening(self):
+        assert contains(parse_pattern("a/b"), parse_pattern("a/b[c]"))
+        assert not contains(parse_pattern("a/b[c]"), parse_pattern("a/b"))
+
+    def test_descendant_through_chain(self):
+        assert contains(parse_pattern("a//c"), parse_pattern("a/b/c"))
+
+    def test_output_must_map_to_output(self):
+        # Same tree shape, different outputs: no containment either way.
+        q1 = parse_pattern("a/b[c]")       # out = b
+        q2 = parse_pattern("a[b/c]")       # out = a... different out depth
+        assert not contains(q1, q2)
+        assert not contains(q2, q1)
+
+    def test_desc_edge_maps_to_path(self):
+        assert contains(parse_pattern("a//d"), parse_pattern("a/b//c/d"))
+
+    def test_reflexive(self):
+        q = paper.q_rbon()
+        assert contains(q, q)
+
+    def test_contained_is_inverse(self):
+        assert contained(parse_pattern("a/b"), parse_pattern("a//b"))
+
+
+class TestBooleanContainment:
+    def test_out_ignored(self):
+        q1 = parse_pattern("a[b/c]")
+        q2 = parse_pattern("a/b[c]")
+        assert contains_boolean(q1, q2)
+        assert contains_boolean(q2, q1)
+
+
+class TestEquivalence:
+    def test_redundant_predicate(self):
+        assert equivalent(parse_pattern("a[b]/b"), parse_pattern("a[b]/b"))
+        assert equivalent(parse_pattern("a[.//b]//b"), parse_pattern("a//b"))
+
+    def test_not_equivalent(self):
+        assert not equivalent(parse_pattern("a/b"), parse_pattern("a//b"))
+
+    def test_fact1_unfolding(self):
+        from repro.tp import ops
+
+        comp = ops.compensation(paper.v1_bon(), parse_pattern("bonus[laptop]"))
+        assert equivalent(comp, paper.q_rbon())
+
+
+class TestIsomorphic:
+    def test_order_insensitive(self):
+        assert isomorphic(parse_pattern("a[b][c]/d"), parse_pattern("a[c][b]/d"))
+
+    def test_output_marks_distinguish(self):
+        assert not isomorphic(parse_pattern("a/b[c]"), parse_pattern("a[b/c]"))
+
+
+class TestWitness:
+    def test_witness_structure(self):
+        q1, q2 = parse_pattern("a//c"), parse_pattern("a/b/c")
+        witness = mapping_witness(q1, q2)
+        assert witness is not None
+        assert witness[id(q1.root)] is q2.root
+        assert witness[id(q1.out)] is q2.out
+
+    def test_no_witness(self):
+        assert mapping_witness(parse_pattern("a/b"), parse_pattern("a//b")) is None
+
+    def test_respect_out_flag(self):
+        q1 = parse_pattern("a[b/c]")
+        q2 = parse_pattern("a/b[c]")
+        assert not containment_mapping(q1, q2, respect_out=True)
+        assert containment_mapping(q1, q2, respect_out=False)

@@ -1,0 +1,83 @@
+"""Unit tests for deterministic TP evaluation (embeddings)."""
+
+from repro.tp import parse_pattern
+from repro.tp.embedding import evaluate, find_embeddings, has_embedding
+from repro.workloads import paper
+from repro.xml import doc, node
+
+
+class TestEvaluate:
+    def test_example5(self, d_per):
+        assert evaluate(paper.q_rbon(), d_per) == {5}
+        assert evaluate(paper.q_bon(), d_per) == {5}
+        assert evaluate(paper.v1_bon(), d_per) == {5}
+        assert evaluate(paper.v2_bon(), d_per) == {5, 7}
+
+    def test_root_label_mismatch(self, d_per):
+        assert evaluate(parse_pattern("other//person"), d_per) == set()
+
+    def test_descendant_is_proper(self):
+        d = doc(node(1, "a", node(2, "b")))
+        assert evaluate(parse_pattern("a//a"), d) == set()
+        assert evaluate(parse_pattern("a//b"), d) == {2}
+
+    def test_descendant_skips_levels(self):
+        d = doc(node(1, "a", node(2, "x", node(3, "b"))))
+        assert evaluate(parse_pattern("a//b"), d) == {3}
+
+    def test_child_does_not_skip(self):
+        d = doc(node(1, "a", node(2, "x", node(3, "b"))))
+        assert evaluate(parse_pattern("a/b"), d) == set()
+
+    def test_predicate_filters(self):
+        d = doc(node(1, "a",
+                     node(2, "b", node(3, "c")),
+                     node(4, "b")))
+        assert evaluate(parse_pattern("a/b[c]"), d) == {2}
+        assert evaluate(parse_pattern("a/b"), d) == {2, 4}
+
+    def test_predicate_on_output(self, d_per):
+        q = parse_pattern("IT-personnel//bonus[pda/50]")
+        assert evaluate(q, d_per) == {5}
+
+    def test_multiple_matches_same_node_deduplicated(self):
+        d = doc(node(1, "a", node(2, "b", node(3, "c"), node(4, "c"))))
+        assert evaluate(parse_pattern("a/b[c]"), d) == {2}
+
+
+class TestHasEmbedding:
+    def test_boolean(self, d_per):
+        assert has_embedding(paper.q_rbon(), d_per)
+        assert not has_embedding(parse_pattern("IT-personnel/bonus"), d_per)
+
+    def test_anchored(self, d_per):
+        q = paper.v2_bon()
+        assert has_embedding(q, d_per, {id(q.out): 7})
+        assert not has_embedding(q, d_per, {id(q.out): 4})
+
+    def test_anchor_on_inner_node(self, d_per):
+        q = paper.q_bon()
+        person = q.main_branch()[1]
+        assert has_embedding(q, d_per, {id(person): 2})
+        assert not has_embedding(q, d_per, {id(person): 3})
+
+
+class TestFindEmbeddings:
+    def test_count(self):
+        d = doc(node(1, "a", node(2, "b"), node(3, "b")))
+        embeddings = find_embeddings(parse_pattern("a/b"), d)
+        assert len(embeddings) == 2
+
+    def test_mapping_contents(self):
+        d = doc(node(1, "a", node(2, "b", node(3, "c"))))
+        q = parse_pattern("a/b[c]")
+        (embedding,) = find_embeddings(q, d)
+        assert set(embedding.values()) == {1, 2, 3}
+
+    def test_descendant_multiplicity(self):
+        d = doc(node(1, "a", node(2, "b", node(3, "b"))))
+        assert len(find_embeddings(parse_pattern("a//b"), d)) == 2
+
+    def test_no_embedding(self):
+        d = doc(node(1, "a"))
+        assert find_embeddings(parse_pattern("a/b"), d) == []

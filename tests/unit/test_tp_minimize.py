@@ -1,0 +1,52 @@
+"""Unit tests for TP minimization."""
+
+from repro.tp import equivalent, minimize, parse_pattern
+from repro.tp.minimize import canonical
+
+
+class TestMinimize:
+    def test_subsumed_sibling_removed(self):
+        q = parse_pattern("a[b][b/c]/d")
+        m = minimize(q)
+        assert m == parse_pattern("a[b/c]/d")
+
+    def test_desc_predicate_subsumed_by_child(self):
+        q = parse_pattern("a[.//b][b]/d")
+        m = minimize(q)
+        assert m == parse_pattern("a[b]/d")
+
+    def test_predicate_implied_by_main_branch(self):
+        q = parse_pattern("a[.//b]//b")
+        assert minimize(q) == parse_pattern("a//b")
+
+    def test_already_minimal(self):
+        q = parse_pattern("a[b][c]/d")
+        assert minimize(q) == q
+
+    def test_never_touches_main_branch(self):
+        q = parse_pattern("a/a/a")
+        assert minimize(q) == q
+
+    def test_preserves_semantics(self):
+        q = parse_pattern("a[b/c][b]/d[e][.//e]")
+        assert equivalent(minimize(q), q)
+
+    def test_nested_redundancy(self):
+        q = parse_pattern("a[b[c][.//c]]/d")
+        assert minimize(q) == parse_pattern("a[b/c]/d")
+
+    def test_input_not_mutated(self):
+        q = parse_pattern("a[b][b/c]/d")
+        key = q.canonical_key()
+        minimize(q)
+        assert q.canonical_key() == key
+
+
+class TestCanonical:
+    def test_equivalent_queries_share_key(self):
+        q1 = parse_pattern("a[b][b/c]/d")
+        q2 = parse_pattern("a[b/c]/d")
+        assert canonical(q1) == canonical(q2)
+
+    def test_distinct_queries_differ(self):
+        assert canonical(parse_pattern("a/b")) != canonical(parse_pattern("a//b"))

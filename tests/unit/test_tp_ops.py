@@ -1,0 +1,163 @@
+"""Unit tests for the query-splitting toolkit (§4 notation)."""
+
+import pytest
+
+from repro.errors import CompensationError, PatternError
+from repro.tp import equivalent, parse_pattern
+from repro.tp import ops
+from repro.workloads import paper
+
+
+class TestPrefixSuffix:
+    def test_example9_prefix(self):
+        # q_RBON^(2) ≡ IT-personnel//person[name/Rick][bonus/laptop]
+        q = paper.q_rbon()
+        expected = parse_pattern("IT-personnel//person[name/Rick][bonus/laptop]")
+        assert equivalent(ops.prefix(q, 2), expected)
+
+    def test_example9_suffix(self):
+        q = paper.q_rbon()
+        expected = parse_pattern("person[name/Rick]/bonus[laptop]")
+        assert ops.suffix(q, 2) == expected
+
+    def test_prefix_full_depth_is_query(self):
+        q = paper.q_rbon()
+        assert ops.prefix(q, 3) == q
+
+    def test_suffix_depth_one_is_query(self):
+        q = paper.q_rbon()
+        assert ops.suffix(q, 1) == q
+
+    def test_out_of_range(self):
+        q = paper.q_rbon()
+        with pytest.raises(PatternError):
+            ops.prefix(q, 0)
+        with pytest.raises(PatternError):
+            ops.suffix(q, 4)
+
+    def test_prefix_does_not_mutate(self):
+        q = paper.q_rbon()
+        before = q.canonical_key()
+        ops.prefix(q, 1)
+        assert q.canonical_key() == before
+
+
+class TestTokens:
+    def test_example9_tokens(self):
+        q = paper.q_rbon()
+        tokens = ops.tokens(q)
+        assert [t.xpath() for t in tokens] == [
+            "IT-personnel",
+            "person[name/Rick]/bonus[laptop]",
+        ]
+
+    def test_single_token(self):
+        q = parse_pattern("a/b/c")
+        assert len(ops.tokens(q)) == 1
+
+    def test_three_tokens(self):
+        q = parse_pattern("a//b[x]/c//d")
+        tokens = ops.tokens(q)
+        assert [t.xpath() for t in tokens] == ["a", "b[x]/c", "d"]
+
+    def test_last_token_example14(self):
+        v = paper.example12_view()  # a//b[e]/c/b/c
+        token = ops.last_token(v)
+        assert ops.token_label_sequence(token) == ["b", "c", "b", "c"]
+
+
+class TestPrefixSuffixLength:
+    def test_example14(self):
+        assert ops.max_prefix_suffix(["b", "c", "b", "c"]) == 2
+
+    def test_no_overlap(self):
+        assert ops.max_prefix_suffix(["a", "b", "c"]) == 0
+
+    def test_bounded_by_half(self):
+        # (a, a, a): u must satisfy 2u ≤ 3, so u = 1 even though a,a matches.
+        assert ops.max_prefix_suffix(["a", "a", "a"]) == 1
+
+    def test_single(self):
+        assert ops.max_prefix_suffix(["a"]) == 0
+
+
+class TestCompensation:
+    def test_paper_example(self):
+        result = ops.compensation(parse_pattern("a/b"), parse_pattern("b[c][d]/e"))
+        assert result == parse_pattern("a/b[c][d]/e")
+
+    def test_fact1_example(self):
+        # comp(v1BON, bonus[laptop]) ≡ q_RBON
+        comp = ops.compensation(paper.v1_bon(), parse_pattern("bonus[laptop]"))
+        assert equivalent(comp, paper.q_rbon())
+
+    def test_label_mismatch(self):
+        with pytest.raises(CompensationError):
+            ops.compensation(parse_pattern("a/b"), parse_pattern("c/d"))
+
+    def test_compensation_with_root_only_addition(self):
+        result = ops.compensation(parse_pattern("a/b"), parse_pattern("b[x]"))
+        assert result == parse_pattern("a/b[x]")
+        assert result.out.label == "b"
+
+
+class TestDerivedQueries:
+    def test_example10_q_prime(self):
+        q = paper.q_rbon()
+        expected = parse_pattern("IT-personnel//person[name/Rick]/bonus")
+        assert equivalent(ops.q_prime(q, 3), expected)
+
+    def test_example10_q_double_prime(self):
+        q = paper.q_rbon()
+        expected = parse_pattern("IT-personnel//person/bonus[laptop]")
+        assert ops.q_double_prime(q, 3) == expected
+
+    def test_example10_v_prime(self):
+        v = paper.v1_bon()
+        assert ops.v_prime(v) == v  # no predicates on out(v)
+
+    def test_v_prime_strips_out_predicates(self):
+        v = parse_pattern("a/b[c][d]")
+        assert ops.v_prime(v) == parse_pattern("a/b")
+
+    def test_example11_q_double_prime(self):
+        q = parse_pattern("a/b[c]")
+        assert ops.q_double_prime(q, 2) == parse_pattern("a/b[c]")
+
+    def test_mb_pattern(self):
+        q = paper.q_rbon()
+        assert ops.mb_pattern(q) == parse_pattern("IT-personnel//person/bonus")
+
+
+class TestRestricted:
+    def test_restricted_when_view_mb_slash_only(self):
+        v = parse_pattern("a/b/c")
+        comp = parse_pattern("c//d")
+        assert ops.is_restricted_rewriting(v, comp)
+
+    def test_restricted_when_compensation_slash_only(self):
+        v = parse_pattern("a//b/c")
+        comp = parse_pattern("c/d")
+        assert ops.is_restricted_rewriting(v, comp)
+
+    def test_unrestricted(self):
+        v = parse_pattern("a//b/c")
+        comp = parse_pattern("c//d")
+        assert not ops.is_restricted_rewriting(v, comp)
+
+
+class TestTokenSuffixChain:
+    def test_full(self):
+        token = ops.last_token(paper.example12_view())
+        chain = ops.token_suffix_chain(token, 4)
+        assert chain == token
+
+    def test_partial(self):
+        token = ops.last_token(paper.example12_view())
+        chain = ops.token_suffix_chain(token, 2)
+        assert ops.token_label_sequence(chain) == ["b", "c"]
+
+    def test_out_of_range(self):
+        token = ops.last_token(paper.example12_view())
+        with pytest.raises(PatternError):
+            ops.token_suffix_chain(token, 5)

@@ -1,0 +1,92 @@
+"""Unit tests for the XPath-style pattern parser."""
+
+import pytest
+
+from repro.errors import PatternParseError
+from repro.tp import Axis, parse_pattern
+
+
+class TestMainBranch:
+    def test_single_step(self):
+        q = parse_pattern("a")
+        assert q.root is q.out
+        assert q.main_branch_length() == 1
+
+    def test_child_chain(self):
+        q = parse_pattern("a/b/c")
+        assert [n.label for n in q.main_branch()] == ["a", "b", "c"]
+        assert all(n.axis is Axis.CHILD for n in q.main_branch())
+
+    def test_descendant_edges(self):
+        q = parse_pattern("a//b/c")
+        axes = [n.axis for n in q.main_branch()]
+        assert axes == [Axis.CHILD, Axis.DESC, Axis.CHILD]
+
+    def test_output_is_last_step(self):
+        q = parse_pattern("a/b/c")
+        assert q.out.label == "c"
+
+
+class TestPredicates:
+    def test_simple_predicate(self):
+        q = parse_pattern("a[b]/c")
+        preds = q.predicate_nodes()
+        assert [p.label for p in preds] == ["b"]
+        assert preds[0].axis is Axis.CHILD
+
+    def test_descendant_predicate(self):
+        q = parse_pattern("a[.//c]/b")
+        (pred,) = q.predicate_nodes()
+        assert pred.label == "c" and pred.axis is Axis.DESC
+
+    def test_predicate_chain(self):
+        q = parse_pattern("person[name/Rick]/bonus")
+        labels = {p.label for p in q.predicate_nodes()}
+        assert labels == {"name", "Rick"}
+
+    def test_predicate_with_desc_inside(self):
+        q = parse_pattern("a[b//c]/d")
+        by_label = {p.label: p for p in q.predicate_nodes()}
+        assert by_label["c"].axis is Axis.DESC
+
+    def test_multiple_predicates(self):
+        q = parse_pattern("a[b][c]/d")
+        assert len(q.predicate_nodes()) == 2
+
+    def test_nested_predicates(self):
+        q = parse_pattern("a[b[x][y]]/c")
+        assert {p.label for p in q.predicate_nodes()} == {"b", "x", "y"}
+
+    def test_tolerated_leading_slash(self):
+        q = parse_pattern("person[/name/Rick]/bonus")
+        assert {p.label for p in q.predicate_nodes()} == {"name", "Rick"}
+
+    def test_labels_with_parens_and_dashes(self):
+        q = parse_pattern("doc(v1BON)/bonus[Id(5)]")
+        assert q.root.label == "doc(v1BON)"
+        assert q.predicate_nodes()[0].label == "Id(5)"
+        q2 = parse_pattern("IT-personnel//person")
+        assert q2.root.label == "IT-personnel"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("expr", [
+        "a",
+        "a/b/c",
+        "a//b/c",
+        "a[b]/c",
+        "a[.//c]/b",
+        "a[b//c//d]/e//d",
+        "IT-personnel//person[name/Rick]/bonus[laptop]",
+        "a[b][c]/d[e]//f",
+    ])
+    def test_parse_render_parse(self, expr):
+        q = parse_pattern(expr)
+        assert parse_pattern(q.xpath()) == q
+
+
+class TestErrors:
+    @pytest.mark.parametrize("expr", ["", "a[", "a]", "a[]/b", "a/", "/a", "a[b]]"])
+    def test_rejected(self, expr):
+        with pytest.raises(PatternParseError):
+            parse_pattern(expr)

@@ -1,0 +1,93 @@
+"""Unit tests for the TreePattern structure itself."""
+
+import pytest
+
+from repro.errors import PatternError
+from repro.tp import Axis, PatternNode, TreePattern, parse_pattern
+from repro.workloads import paper
+
+
+class TestStructure:
+    def test_main_branch_identification(self):
+        q = parse_pattern("a[x]/b[y]//c")
+        assert [n.label for n in q.main_branch()] == ["a", "b", "c"]
+        assert q.main_branch_length() == 3
+
+    def test_predicate_nodes(self):
+        q = parse_pattern("a[x/w]/b[y]//c[z]")
+        assert sorted(p.label for p in q.predicate_nodes()) == ["w", "x", "y", "z"]
+
+    def test_mb_depth(self):
+        q = paper.q_rbon()
+        branch = q.main_branch()
+        assert q.mb_depth(branch[0]) == 1
+        assert q.mb_depth(q.out) == 3
+
+    def test_mb_depth_of_predicate_raises(self):
+        q = parse_pattern("a[x]/b")
+        (pred,) = q.predicate_nodes()
+        with pytest.raises(PatternError):
+            q.mb_depth(pred)
+
+    def test_out_not_in_tree_rejected(self):
+        root = PatternNode("a")
+        stray = PatternNode("b")
+        with pytest.raises(PatternError):
+            TreePattern(root, stray)
+
+    def test_labels(self):
+        q = paper.q_rbon()
+        assert q.label() == "bonus"          # lbl(q) = label of out
+        assert q.root_label() == "IT-personnel"
+
+    def test_size(self):
+        assert parse_pattern("a[b][c]/d").size() == 4
+
+
+class TestCopying:
+    def test_copy_is_deep(self):
+        q = parse_pattern("a[b]/c")
+        copy = q.copy()
+        copy.out.add_child(PatternNode("new", Axis.CHILD))
+        assert q.size() == 3 and copy.size() == 4
+
+    def test_copy_preserves_out(self):
+        q = paper.q_rbon()
+        copy = q.copy()
+        assert copy.out.label == q.out.label
+        assert copy == q
+
+    def test_map_labels(self):
+        q = parse_pattern("a/b")
+        upper = q.map_labels(str.upper)
+        assert upper.xpath() == "A/B"
+        assert q.xpath() == "a/b"
+
+
+class TestCanonicalForm:
+    def test_predicate_order_irrelevant(self):
+        assert parse_pattern("a[b][c]/d") == parse_pattern("a[c][b]/d")
+
+    def test_axis_matters(self):
+        assert parse_pattern("a/b") != parse_pattern("a//b")
+
+    def test_out_position_matters(self):
+        assert parse_pattern("a/b[c]") != parse_pattern("a[b/c]")
+
+    def test_hashable(self):
+        patterns = {parse_pattern("a/b"), parse_pattern("a/b"), parse_pattern("a//b")}
+        assert len(patterns) == 2
+
+
+class TestRendering:
+    @pytest.mark.parametrize("expr,expected", [
+        ("a/b", "a/b"),
+        ("a[name/Rick]/b", "a[name/Rick]/b"),
+        ("a[.//c]/b", "a[.//c]/b"),
+        ("a[b[x][y]]/c", "a[b[x][y]]/c"),
+    ])
+    def test_xpath_stability(self, expr, expected):
+        assert parse_pattern(expr).xpath() == expected
+
+    def test_repr_contains_xpath(self):
+        assert "a/b" in repr(parse_pattern("a/b"))

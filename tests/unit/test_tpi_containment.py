@@ -1,0 +1,71 @@
+"""Unit tests for TP∩ / TP containment, equivalence, union-freeness."""
+
+from repro.tp import parse_pattern
+from repro.tpi import (
+    tp_contained_in_tpi,
+    tpi_contained_in_tp,
+    tpi_equivalent_tp,
+    tpi_satisfiable,
+    union_free_interleaving,
+)
+from repro.workloads import paper
+
+
+class TestSatisfiability:
+    def test_satisfiable(self):
+        assert tpi_satisfiable([parse_pattern("a//b"), parse_pattern("a//b[c]")])
+
+    def test_unsatisfiable_label_clash(self):
+        assert not tpi_satisfiable([parse_pattern("a/b"), parse_pattern("a/c")])
+
+    def test_unsatisfiable_depth_clash(self):
+        assert not tpi_satisfiable([parse_pattern("a/b"), parse_pattern("a/a/b")])
+
+
+class TestContainment:
+    def test_example16_intersection_rewrites_query(self):
+        q = paper.example16_query()
+        v1, v2, v3, v4 = paper.example16_views()
+        assert tpi_equivalent_tp([v1, v2], q)
+        assert tpi_equivalent_tp([v1, v2, v3, v4], q)
+
+    def test_intersection_weaker_than_query(self):
+        q = paper.example16_query()
+        _, v2, v3, v4 = paper.example16_views()
+        # v2 ∩ v3 covers predicates 1,2,3 → ≡ q; v3 ∩ v4 misses predicate 3.
+        assert tpi_equivalent_tp([v2, v3], q)
+        assert not tpi_equivalent_tp([v3, v4], q)
+
+    def test_query_contained_in_intersection(self):
+        q = paper.q_rbon()
+        assert tp_contained_in_tpi(q, [paper.v1_bon(), paper.v2_bon()])
+        assert not tp_contained_in_tpi(paper.v2_bon(), [q])
+
+    def test_intersection_contained_in_tp(self):
+        patterns = [parse_pattern("a[1]/b/c"), parse_pattern("a/b[2]/c")]
+        assert tpi_contained_in_tp(patterns, parse_pattern("a[1]/b[2]/c"))
+        assert tpi_contained_in_tp(patterns, parse_pattern("a/b/c"))
+        assert not tpi_contained_in_tp(patterns, parse_pattern("a/b[3]/c"))
+
+    def test_descendant_intersection_not_contained(self):
+        # a//b//z ∩ a//d//z has interleavings in both orders; a//b//d//z
+        # contains only one of them.
+        patterns = [parse_pattern("a//b//z"), parse_pattern("a//d//z")]
+        assert not tpi_contained_in_tp(patterns, parse_pattern("a//b//d//z"))
+
+
+class TestUnionFree:
+    def test_child_forced_intersection_is_union_free(self):
+        patterns = [parse_pattern("a[1]/b/c"), parse_pattern("a/b[2]/c")]
+        dominant = union_free_interleaving(patterns)
+        assert dominant == parse_pattern("a[1]/b[2]/c")
+
+    def test_symmetric_descendants_not_union_free(self):
+        patterns = [parse_pattern("a//b//z"), parse_pattern("a//d//z")]
+        assert union_free_interleaving(patterns) is None
+
+    def test_containment_collapse_is_union_free(self):
+        # a//b[x]//z ∩ a//b//z: the coalesced interleaving dominates.
+        patterns = [parse_pattern("a//b[x]/z"), parse_pattern("a//b/z")]
+        dominant = union_free_interleaving(patterns)
+        assert dominant is not None

@@ -1,0 +1,81 @@
+"""Unit tests for TP∩ interleavings."""
+
+import pytest
+
+from repro.errors import IntersectionError
+from repro.tp import contains, parse_pattern
+from repro.tpi import interleavings, iter_interleavings
+from repro.workloads.synthetic import adversarial_intersection
+
+
+class TestBasics:
+    def test_single_pattern(self):
+        q = parse_pattern("a[x]/b")
+        assert interleavings([q]) == [q]
+
+    def test_forced_coalescing_by_child_edges(self):
+        result = interleavings([parse_pattern("a[1]/b/c"), parse_pattern("a/b[2]/c")])
+        assert [r.xpath() for r in result] == ["a[1]/b[2]/c"]
+
+    def test_orderings_of_descendant_steps(self):
+        result = interleavings(
+            [parse_pattern("a//b//z"), parse_pattern("a//d//z")]
+        )
+        paths = {r.xpath() for r in result}
+        assert paths == {"a//b//d//z", "a//d//b//z"}
+
+    def test_coalescing_option_when_labels_match(self):
+        result = interleavings([parse_pattern("a//b[1]//z"), parse_pattern("a//b[2]//z")])
+        paths = {r.xpath() for r in result}
+        # Coalesced, and both orders.
+        assert "a//b[1][2]//z" in paths
+        assert "a//b[1]//b[2]//z" in paths
+        assert "a//b[2]//b[1]//z" in paths
+
+    def test_root_label_mismatch_unsatisfiable(self):
+        assert interleavings([parse_pattern("a/b"), parse_pattern("x/b")]) == []
+
+    def test_out_label_mismatch_unsatisfiable(self):
+        assert interleavings([parse_pattern("a/b"), parse_pattern("a/c")]) == []
+
+    def test_incompatible_lengths_with_child_edges(self):
+        # a/b ∩ a/x/b: out must coalesce, but /-edges force different depths.
+        assert interleavings([parse_pattern("a/b"), parse_pattern("a/x/b")]) == []
+
+    def test_roots_that_are_outputs(self):
+        assert interleavings([parse_pattern("a"), parse_pattern("a")]) != []
+        assert interleavings([parse_pattern("a"), parse_pattern("a/b")]) == []
+
+    def test_predicates_travel_with_their_node(self):
+        result = interleavings(
+            [parse_pattern("a[p]//m[x]//z"), parse_pattern("a//m[y]//z")]
+        )
+        for candidate in result:
+            assert candidate.root.label == "a"
+            preds = {n.label for n in candidate.predicate_nodes()}
+            assert "p" in preds and "x" in preds and "y" in preds
+
+
+class TestSoundness:
+    def test_each_interleaving_contained_in_components(self):
+        components = [
+            parse_pattern("a[1]//b/c//z"),
+            parse_pattern("a//c[2]//z"),
+        ]
+        for candidate in interleavings(components):
+            for component in components:
+                assert contains(component, candidate)
+
+
+class TestBlowup:
+    def test_factorial_growth(self):
+        counts = [len(interleavings(adversarial_intersection(k))) for k in (1, 2, 3, 4)]
+        assert counts == [1, 2, 6, 24]
+
+    def test_limit_guard(self):
+        with pytest.raises(IntersectionError):
+            interleavings(adversarial_intersection(4), limit=5)
+
+    def test_lazy_iteration(self):
+        iterator = iter_interleavings(adversarial_intersection(5))
+        assert next(iterator) is not None  # no full materialization needed

@@ -1,0 +1,49 @@
+"""Unit tests for the extended-skeleton fragment check (§5.1)."""
+
+import pytest
+
+from repro.tp import parse_pattern
+from repro.tpi import is_extended_skeleton
+from repro.workloads import paper
+
+
+class TestPaperVerdicts:
+    @pytest.mark.parametrize("expr", ["a[b//c//d]/e//d", "a[b//c]/d//e"])
+    def test_positive(self, expr):
+        assert is_extended_skeleton(parse_pattern(expr))
+
+    @pytest.mark.parametrize(
+        "expr", ["a[b//c]/b//d", "a[b//c]//d", "a[.//b]/c//d", "a[.//b]//c"]
+    )
+    def test_negative(self, expr):
+        assert not is_extended_skeleton(parse_pattern(expr))
+
+
+class TestFragmentScope:
+    def test_main_branch_descendants_unrestricted(self):
+        assert is_extended_skeleton(parse_pattern("a//b//c//d"))
+
+    def test_slash_only_predicates_unrestricted(self):
+        assert is_extended_skeleton(parse_pattern("a[b/c][d]/e[f]//g"))
+
+    def test_no_predicates(self):
+        assert is_extended_skeleton(parse_pattern("a//b/c"))
+
+    def test_paper_fixtures_are_extended_skeletons(self):
+        for q in (paper.q_rbon(), paper.q_bon(), paper.v1_bon(), paper.v2_bon()):
+            assert is_extended_skeleton(q)
+
+    def test_example16_views_are_extended_skeletons(self):
+        for v in paper.example16_views():
+            assert is_extended_skeleton(v)
+
+    def test_prefix_equal_paths_rejected(self):
+        # incoming path 'b' maps into mb /-path 'b/c' (prefix) → not a skeleton.
+        assert not is_extended_skeleton(parse_pattern("a[b//x]/b/c//d"))
+
+    def test_mb_path_maps_into_incoming(self):
+        # mb /-path 'b' is a prefix of incoming path 'b/c' → not a skeleton.
+        assert not is_extended_skeleton(parse_pattern("a[b/c//x]/b//d"))
+
+    def test_diverging_paths_accepted(self):
+        assert is_extended_skeleton(parse_pattern("a[b/c//x]/b/e//d"))

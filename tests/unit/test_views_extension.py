@@ -1,0 +1,123 @@
+"""Unit tests for view extensions (deterministic and probabilistic, §3.1)."""
+
+from fractions import Fraction
+
+from repro.prob import boolean_probability
+from repro.tp import parse_pattern
+from repro.tp.embedding import evaluate
+from repro.views import (
+    View,
+    anchor_via_marker,
+    deterministic_extension,
+    marker_label,
+    parse_marker_label,
+    probabilistic_extension,
+)
+from repro.workloads import paper
+
+
+class TestMarkers:
+    def test_roundtrip(self):
+        assert parse_marker_label(marker_label(42)) == 42
+
+    def test_non_marker(self):
+        assert parse_marker_label("bonus") is None
+        assert parse_marker_label("Id(x)") is None
+
+
+class TestDeterministicExtension:
+    def test_figure4_left(self, d_per, v1_bon):
+        ext = deterministic_extension(d_per, v1_bon)
+        assert ext.document.name == "doc(v1BON)"
+        assert list(ext.subtree_roots) == [5]
+        # The bonus subtree: laptop(44, 50) and pda(50), plus markers.
+        labels = {n.label for n in ext.document.nodes()}
+        assert {"laptop", "pda", "44", "50"} <= labels
+        assert marker_label(5) in labels
+
+    def test_v2_has_two_subtrees(self, d_per, v2_bon):
+        ext = deterministic_extension(d_per, v2_bon)
+        assert sorted(ext.subtree_roots) == [5, 7]
+
+    def test_fresh_ids_are_disjoint_from_original(self, d_per, v1_bon):
+        ext = deterministic_extension(d_per, v1_bon)
+        # Copy semantics: Ids are fresh (sequential), original identity only
+        # through markers.
+        assert ext.document.node(ext.subtree_roots[5]).label == "bonus"
+
+    def test_queryable_through_doc_label(self, d_per, v1_bon):
+        ext = deterministic_extension(d_per, v1_bon)
+        result = evaluate(parse_pattern("doc(v1BON)/bonus/laptop"), ext.document)
+        assert len(result) == 1
+
+
+class TestProbabilisticExtension:
+    def test_figure4_right_selection(self, ext_v1):
+        assert ext_v1.selection == {5: Fraction(3, 4)}
+
+    def test_subtree_preserves_internal_distribution(self, ext_v1):
+        sub = ext_v1.result_subdocument(5)
+        assert boolean_probability(sub, parse_pattern("bonus/laptop")) == Fraction(
+            9, 10
+        )
+        assert boolean_probability(sub, parse_pattern("bonus/pda")) == 1
+
+    def test_markers_attached_everywhere(self, ext_v1):
+        sub = ext_v1.result_subdocument(5)
+        labels = {n.label for n in sub.ordinary_nodes()}
+        for original in (5, 24, 22, 31, 25, 26, 32, 23):
+            assert marker_label(original) in labels
+
+    def test_occurrences(self, ext_v2):
+        assert ext_v2.occurrences[5] == {5}
+        assert ext_v2.occurrences[24] == {5}
+        assert ext_v2.occurrences[54] == {7}
+
+    def test_selected_ancestors_or_self_nested(self):
+        # Example 12's view selects nested nodes 9 (c2) and 11 (c3).
+        p = paper.p3_example12()
+        ext = probabilistic_extension(p, View("v", paper.example12_view()))
+        assert ext.selected_ancestors_or_self(11) == [9, 11]
+        assert ext.selected_ancestors_or_self(12) == [9, 11]
+        assert ext.selected_ancestors_or_self(9) == [9]
+
+    def test_nodes_between(self):
+        p = paper.p3_example12()
+        ext = probabilistic_extension(p, View("v", paper.example12_view()))
+        assert ext.nodes_between(9, 11) == 3  # c2, b3, c3
+        assert ext.nodes_between(9, 9) == 1
+
+    def test_example11_indistinguishability(self):
+        """The central §4.1 fact: (P̂1)_v = (P̂2)_v although q differs."""
+        v = View("v", paper.example11_view())
+        ext1 = probabilistic_extension(paper.p1_example11(), v)
+        ext2 = probabilistic_extension(paper.p2_example11(), v)
+        assert ext1.pdocument == ext2.pdocument
+        assert ext1.selection == ext2.selection
+
+    def test_example12_indistinguishability(self):
+        v = View("v", paper.example12_view())
+        ext3 = probabilistic_extension(paper.p3_example12(), v)
+        ext4 = probabilistic_extension(paper.p4_example12(), v)
+        assert ext3.pdocument == ext4.pdocument
+        assert ext3.selection == ext4.selection
+
+    def test_empty_view_result(self, p_per):
+        ext = probabilistic_extension(p_per, View("none", parse_pattern(
+            "IT-personnel/nothing")))
+        assert ext.selection == {}
+        assert ext.pdocument.size() == 1
+
+
+class TestAnchorViaMarker:
+    def test_anchored_pattern_has_marker_child(self):
+        q = parse_pattern("doc(v)/bonus")
+        anchored = anchor_via_marker(q, 5)
+        assert marker_label(5) in {n.label for n in anchored.predicate_nodes()}
+
+    def test_anchoring_pins_occurrence(self, ext_v2):
+        qr = parse_pattern("doc(v2BON)/bonus[laptop]")
+        hit = boolean_probability(ext_v2.pdocument, anchor_via_marker(qr, 5))
+        miss = boolean_probability(ext_v2.pdocument, anchor_via_marker(qr, 7))
+        assert hit == Fraction(9, 10)
+        assert miss == 0

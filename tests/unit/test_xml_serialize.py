@@ -1,0 +1,45 @@
+"""Round-trip tests for the document text format."""
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.workloads import paper
+from repro.xml import doc, node
+from repro.xml.serialize import document_from_text, document_to_text
+
+
+class TestRoundTrip:
+    def test_small(self):
+        d = doc(node(1, "a", node(2, "b"), node(3, "c", node(4, "d"))))
+        assert document_from_text(document_to_text(d)) == d
+
+    def test_paper_document(self):
+        d = paper.d_per()
+        assert document_from_text(document_to_text(d)) == d
+
+    def test_labels_with_spaces_and_parens(self):
+        d = doc(node(1, "doc(v1)", node(2, "Id(5)")))
+        assert document_from_text(document_to_text(d)) == d
+
+    def test_canonical_output_is_sorted(self):
+        d1 = doc(node(1, "a", node(3, "c"), node(2, "b")))
+        d2 = doc(node(1, "a", node(2, "b"), node(3, "c")))
+        assert document_to_text(d1) == document_to_text(d2)
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(DocumentError):
+            document_from_text("   \n  ")
+
+    def test_multiple_roots(self):
+        with pytest.raises(DocumentError):
+            document_from_text("[1] a\n[2] b\n")
+
+    def test_orphan_depth(self):
+        with pytest.raises(DocumentError):
+            document_from_text("[1] a\n        [2] b\n")
+
+    def test_bad_indent(self):
+        with pytest.raises(DocumentError):
+            document_from_text("[1] a\n [2] b\n")
