@@ -1,0 +1,176 @@
+"""Engine benchmark: per-candidate baseline vs single-pass vs fast backend.
+
+Three strategies answer the same ``q(P̂)`` on the ``workloads/synthetic``
+personnel scaling family:
+
+* ``per_candidate`` — the pre-engine formulation: one full anchored DP
+  (``node_probability``) per candidate node, exact arithmetic;
+* ``engine_exact``  — the single-pass engine (one DP traversal for all
+  candidates), exact ``Fraction`` backend;
+* ``engine_fast``   — the single-pass engine on the ``fast`` ``float``
+  backend.
+
+Run standalone to emit the machine-readable comparison::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py           # full sizes
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick   # CI smoke
+
+which writes ``BENCH_engine.json`` at the repository root.  Under pytest
+the same strategies run through pytest-benchmark with exactness asserted
+against each other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.prob import EvaluationEngine, node_probability
+from repro.workloads.synthetic import personnel_pdocument, personnel_query
+
+SIZES = [4, 8, 16]
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def _setup(persons: int):
+    p = personnel_pdocument(persons=persons, projects=3, seed=persons)
+    q = personnel_query("project0")
+    candidates = sorted(EvaluationEngine(p, [q]).candidate_ids())
+    return p, q, candidates
+
+
+def per_candidate_answer(p, q, candidates):
+    """The old ``query_answer`` control flow: one anchored DP per node."""
+    answer = {}
+    for node_id in candidates:
+        probability = node_probability(p, q, node_id)
+        if probability > 0:
+            answer[node_id] = probability
+    return answer
+
+
+def engine_answer(p, q, candidates, backend):
+    return EvaluationEngine(p, [q], backend=backend).answer(candidates)
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness
+# ----------------------------------------------------------------------
+@pytest.mark.paper("§7 cost claim — per-candidate anchored DP baseline")
+@pytest.mark.parametrize("persons", SIZES)
+def test_per_candidate_baseline(benchmark, report, persons):
+    p, q, candidates = _setup(persons)
+    answer = benchmark(per_candidate_answer, p, q, candidates)
+    report.append(
+        f"engine persons={persons}: per-candidate baseline, "
+        f"{len(candidates)} candidates, {len(answer)} answers"
+    )
+
+
+@pytest.mark.paper("§7 cost claim — single-pass engine, exact backend")
+@pytest.mark.parametrize("persons", SIZES)
+def test_engine_exact(benchmark, report, persons):
+    p, q, candidates = _setup(persons)
+    answer = benchmark(engine_answer, p, q, candidates, "exact")
+    assert answer == per_candidate_answer(p, q, candidates)  # exactness
+    report.append(f"engine persons={persons}: single-pass exact, one traversal")
+
+
+@pytest.mark.paper("§7 cost claim — single-pass engine, fast backend")
+@pytest.mark.parametrize("persons", SIZES)
+def test_engine_fast(benchmark, report, persons):
+    p, q, candidates = _setup(persons)
+    answer = benchmark(engine_answer, p, q, candidates, "fast")
+    exact = per_candidate_answer(p, q, candidates)
+    assert set(answer) == set(exact)
+    assert all(abs(answer[n] - float(exact[n])) < 1e-9 for n in exact)
+    report.append(f"engine persons={persons}: single-pass fast floats")
+
+
+# ----------------------------------------------------------------------
+# Standalone JSON emitter
+# ----------------------------------------------------------------------
+def _best_of(repeats: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(sizes: list[int], repeats: int = 3) -> dict:
+    results = []
+    max_abs_error = 0.0
+    for persons in sizes:
+        p, q, candidates = _setup(persons)
+        exact = engine_answer(p, q, candidates, "exact")
+        fast = engine_answer(p, q, candidates, "fast")
+        assert exact == per_candidate_answer(p, q, candidates)
+        for node_id in set(exact) | set(fast):
+            error = abs(fast.get(node_id, 0.0) - float(exact.get(node_id, 0)))
+            max_abs_error = max(max_abs_error, error)
+        timings = {
+            "per_candidate_s": _best_of(repeats, per_candidate_answer, p, q, candidates),
+            "engine_exact_s": _best_of(repeats, engine_answer, p, q, candidates, "exact"),
+            "engine_fast_s": _best_of(repeats, engine_answer, p, q, candidates, "fast"),
+        }
+        results.append(
+            {
+                "persons": persons,
+                "pdocument_size": p.size(),
+                "candidates": len(candidates),
+                "answers": len(exact),
+                **timings,
+                "speedup_engine_vs_per_candidate": timings["per_candidate_s"]
+                / timings["engine_exact_s"],
+                "speedup_fast_vs_exact": timings["engine_exact_s"]
+                / timings["engine_fast_s"],
+            }
+        )
+    return {
+        "benchmark": "bench_engine",
+        "workload": "workloads/synthetic personnel scaling family",
+        "query": personnel_query("project0").xpath(),
+        "strategies": ["per_candidate", "engine_exact", "engine_fast"],
+        "repeats": repeats,
+        "fast_vs_exact_max_abs_error": max_abs_error,
+        "results": results,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / single repeat (CI smoke pass)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"where to write the JSON report (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    sizes = [4, 8] if args.quick else [4, 8, 16, 32]
+    report = run(sizes, repeats=1 if args.quick else 3)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    largest = report["results"][-1]
+    print(f"wrote {args.output}")
+    print(
+        f"persons={largest['persons']}: "
+        f"engine vs per-candidate ×{largest['speedup_engine_vs_per_candidate']:.1f}, "
+        f"fast vs exact ×{largest['speedup_fast_vs_exact']:.1f}, "
+        f"max |fast − exact| = {report['fast_vs_exact_max_abs_error']:.2e}"
+    )
+    if largest["speedup_fast_vs_exact"] <= 1.0:
+        print("FAIL: fast backend not faster than exact", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,16 +1,10 @@
 """Legacy setup shim: enables `pip install -e .` in offline environments
-(no `wheel` package, so PEP 660 editable builds are unavailable)."""
+(no `wheel` package, so PEP 660 editable builds are unavailable).
 
-from setuptools import find_packages, setup
+All project metadata lives in pyproject.toml; setuptools >= 61 reads it
+from there.
+"""
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Answering queries using views over probabilistic XML "
-        "(Cautis & Kharlamov, VLDB 2012) — full reproduction"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.10",
-)
+from setuptools import setup
+
+setup()

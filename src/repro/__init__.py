@@ -7,7 +7,10 @@ Tractability", VLDB 2012 (PVLDB 5(11):1148-1159):
 * p-documents ``PrXML{mux, ind}`` and their possible-world semantics;
 * tree-pattern queries (TP) and intersections (TP∩) with containment,
   equivalence, minimization, interleavings and extended skeletons;
-* exact probabilistic query evaluation (PTime in data complexity);
+* probabilistic query evaluation (PTime in data complexity) through a
+  single-pass engine with pluggable numeric backends — ``exact``
+  Fractions (default) or ``fast`` floats (see
+  :class:`repro.prob.EvaluationEngine`);
 * view extensions with persistent-identity markers;
 * probabilistic condition-independence (c-independence);
 * ``TPrewrite`` — single-view probabilistic rewritings (restricted and
@@ -42,7 +45,16 @@ from .errors import (
     ProbabilityError,
     LinearSystemError,
 )
-from .probability import as_probability, as_fraction, prob_str
+from .probability import (
+    as_probability,
+    as_fraction,
+    prob_str,
+    NumericBackend,
+    ExactBackend,
+    FastBackend,
+    BACKENDS,
+    get_backend,
+)
 from .xml import Document, DocNode, doc, node
 from .pxml import (
     PDocument,
@@ -74,6 +86,7 @@ from .tpi import (
     is_extended_skeleton,
 )
 from .prob import (
+    EvaluationEngine,
     query_answer,
     node_probability,
     boolean_probability,
@@ -101,6 +114,7 @@ __all__ = [
     "UnsatisfiableIntersectionError", "RewritingError", "NoRewritingError",
     "ProbabilityError", "LinearSystemError",
     "as_probability", "as_fraction", "prob_str",
+    "NumericBackend", "ExactBackend", "FastBackend", "BACKENDS", "get_backend",
     "Document", "DocNode", "doc", "node",
     "PDocument", "PNode", "PNodeKind", "pdoc", "ordinary", "mux", "ind",
     "det", "enumerate_worlds", "sample_world",
@@ -108,6 +122,7 @@ __all__ = [
     "contains", "equivalent", "minimize",
     "TPIntersection", "interleavings", "tpi_satisfiable",
     "tpi_equivalent_tp", "is_extended_skeleton",
+    "EvaluationEngine",
     "query_answer", "node_probability", "boolean_probability",
     "intersection_answer",
     "View", "probabilistic_extension", "deterministic_extension",

@@ -20,10 +20,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional
+from typing import Optional, Union
 
 from .errors import NoRewritingError
-from .prob.evaluator import query_answer
+from .probability import BackendLike, get_backend
+from .prob.engine import query_answer
 from .pxml.pdocument import PDocument
 from .rewrite.multi_view import tpi_rewrite
 from .rewrite.single_view import probabilistic_tp_plan
@@ -44,9 +45,13 @@ class AnswerSource(enum.Enum):
 
 @dataclass
 class CachedAnswer:
-    """An answer together with its provenance."""
+    """An answer together with its provenance.
 
-    answer: dict[int, Fraction]
+    Probability values are in the cache backend's domain —
+    :class:`Fraction` for ``exact``, ``float`` for ``fast``.
+    """
+
+    answer: dict[int, Union[Fraction, float]]
     source: AnswerSource
     plan_description: str = ""
 
@@ -60,12 +65,22 @@ class RewritingCache:
             raise :class:`NoRewritingError` instead of falling back to
             direct evaluation — extensions are then the *only* data source,
             exactly the access model of Definition 4.
+        backend: numeric backend (name or instance) used when the cache
+            evaluates probabilities itself — materializing extensions and
+            direct evaluation.  ``"exact"`` (default) keeps everything
+            bit-exact; ``"fast"`` trades exactness for float throughput.
     """
 
-    def __init__(self, p: PDocument, strict: bool = False) -> None:
+    def __init__(
+        self,
+        p: PDocument,
+        strict: bool = False,
+        backend: BackendLike = "exact",
+    ) -> None:
         self._p: Optional[PDocument] = None if strict else p
         self._build_source = p
         self.strict = strict
+        self.backend = get_backend(backend)
         self._views: dict[str, View] = {}
         self._extensions: dict[str, ProbabilisticViewExtension] = {}
 
@@ -76,7 +91,9 @@ class RewritingCache:
         """Evaluate the view over the base document and cache its extension."""
         if view.name in self._views:
             raise ValueError(f"view {view.name!r} is already materialized")
-        extension = probabilistic_extension(self._build_source, view)
+        extension = probabilistic_extension(
+            self._build_source, view, backend=self.backend
+        )
         self._views[view.name] = view
         self._extensions[view.name] = extension
         return extension
@@ -112,9 +129,10 @@ class RewritingCache:
                 f"{sorted(self._views)} and the cache is strict"
             )
         return CachedAnswer(
-            answer=query_answer(self._p, q),
+            answer=query_answer(self._p, q, backend=self.backend),
             source=AnswerSource.DIRECT,
-            plan_description="evaluated on the base p-document",
+            plan_description="evaluated on the base p-document "
+            f"({self.backend.name} backend, single-pass engine)",
         )
 
     def answerable(self, q: TreePattern) -> bool:

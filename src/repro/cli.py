@@ -18,8 +18,8 @@ import argparse
 import sys
 from pathlib import Path
 
-from .probability import prob_str
-from .prob.evaluator import query_answer
+from .probability import BACKENDS, prob_str
+from .prob.engine import query_answer
 from .pxml.serialize import pdocument_from_text, pdocument_to_text
 from .pxml.worlds import enumerate_worlds
 from .rewrite.single_view import probabilistic_tp_plan
@@ -38,7 +38,7 @@ def _load(path: str):
 def _cmd_eval(args: argparse.Namespace) -> int:
     p = _load(args.document)
     q = parse_pattern(args.query)
-    answer = query_answer(p, q)
+    answer = query_answer(p, q, backend=args.backend)
     if not answer:
         print("no answers with positive probability")
         return 0
@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("eval", help="evaluate a TP query over a p-document")
     p_eval.add_argument("document")
     p_eval.add_argument("query")
+    p_eval.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="exact",
+        help="numeric backend: 'exact' Fractions (default) or 'fast' floats",
+    )
     p_eval.set_defaults(func=_cmd_eval)
 
     p_worlds = sub.add_parser("worlds", help="enumerate possible worlds")

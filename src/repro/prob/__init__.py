@@ -1,14 +1,19 @@
-"""Exact probabilistic query evaluation over p-documents.
+"""Probabilistic query evaluation over p-documents.
 
-``evaluator`` is the production path: a dynamic program that is polynomial in
-the size of the p-document (data complexity) for fixed queries — matching the
-tractability statement of [22] that the paper builds on — and supports both
-TP and TP∩ queries, plus node anchors.  ``bruteforce`` enumerates the
-px-space and is the reference semantics used by tests.
+``engine`` is the production path: a single-pass goal-set dynamic program
+that is polynomial in the size of the p-document (data complexity) for
+fixed queries — matching the tractability statement of [22] that the paper
+builds on — supports both TP and TP∩ queries plus node anchors, computes
+*all* candidate answers in one traversal, and is parameterized by a
+numeric backend (``exact`` Fractions or ``fast`` floats).  ``evaluator``
+keeps the historical ``ProbEvaluator`` surface as a shim over the engine.
+``bruteforce`` enumerates the px-space and is the reference semantics used
+by tests; ``approximate`` is the sampling estimator.
 """
 
-from .evaluator import (
-    ProbEvaluator,
+from .engine import (
+    EvaluationEngine,
+    normalize_anchors,
     query_answer,
     boolean_probability,
     node_probability,
@@ -16,6 +21,7 @@ from .evaluator import (
     intersection_answer,
     intersection_node_probability,
 )
+from .evaluator import ProbEvaluator
 from .bruteforce import (
     brute_force_query_answer,
     brute_force_node_probability,
@@ -23,6 +29,8 @@ from .bruteforce import (
 )
 
 __all__ = [
+    "EvaluationEngine",
+    "normalize_anchors",
     "ProbEvaluator",
     "query_answer",
     "boolean_probability",

@@ -20,6 +20,7 @@ from ..pxml.pdocument import PDocument
 from ..pxml.worlds import sample_world
 from ..tp.embedding import evaluate as evaluate_deterministic, has_embedding
 from ..tp.pattern import TreePattern
+from .engine import AnchorsLike, normalize_anchors
 
 __all__ = [
     "samples_for_guarantee",
@@ -41,10 +42,15 @@ def approximate_node_probability(
     node_id: int,
     samples: int = 1000,
     rng: Optional[random.Random] = None,
+    anchors: Optional[AnchorsLike] = None,
 ) -> float:
-    """Estimate ``Pr(n ∈ q(P))`` by sampling possible worlds."""
+    """Estimate ``Pr(n ∈ q(P))`` by sampling possible worlds.
+
+    ``anchors`` optionally pins further pattern nodes (engine key forms,
+    see :data:`repro.prob.engine.AnchorsLike`) on top of ``out(q) ↦ n``.
+    """
     rng = rng or random.Random()
-    anchors = {id(q.out): node_id}
+    anchors = {**normalize_anchors([q], anchors), id(q.out): node_id}
     hits = 0
     for _ in range(samples):
         world = sample_world(p, rng)

@@ -13,8 +13,9 @@ from typing import Optional, Sequence
 from ..probability import ZERO
 from ..pxml.pdocument import PDocument
 from ..pxml.worlds import enumerate_worlds
-from ..tp.embedding import Anchors, evaluate, has_embedding
+from ..tp.embedding import evaluate, has_embedding
 from ..tp.pattern import TreePattern
+from .engine import AnchorsLike, normalize_anchors
 
 __all__ = [
     "brute_force_boolean_probability",
@@ -25,12 +26,17 @@ __all__ = [
 
 
 def brute_force_boolean_probability(
-    p: PDocument, q: TreePattern, anchors: Optional[Anchors] = None
+    p: PDocument, q: TreePattern, anchors: Optional[AnchorsLike] = None
 ) -> Fraction:
-    """``Pr(q matches P)`` by summing over all possible worlds."""
+    """``Pr(q matches P)`` by summing over all possible worlds.
+
+    ``anchors`` accepts the same key forms as the engine
+    (:data:`repro.prob.engine.AnchorsLike`).
+    """
+    resolved = normalize_anchors([q], anchors)
     total = ZERO
     for world, probability in enumerate_worlds(p):
-        if has_embedding(q, world, anchors):
+        if has_embedding(q, world, resolved):
             total += probability
     return total
 

@@ -1,0 +1,660 @@
+"""Single-pass evaluation engine for TP / TP∩ queries over p-documents.
+
+This module is the production probability path.  It keeps the goal-set
+dynamic program documented in :mod:`repro.prob.evaluator` — for every
+pattern node ``u`` a goal ``D(u)`` ("the pattern subtree at ``u`` embeds
+with ``u`` mapped to *this* document node") and a goal ``A(u)`` ("... to
+this node or a proper descendant") — but changes the machinery in three
+ways:
+
+**Interned goal-set bitmasks.**  Goal sets are machine integers instead of
+``frozenset[int]``: goal ``i`` owns bit ``1 << i``, union-convolution is
+``int | int``, the subset tests of the ordinary-node rewrite are
+``mask & need == need``, and distribution keys hash as small ints.
+
+**Pluggable numeric backends.**  All arithmetic goes through a
+:class:`repro.probability.NumericBackend` — ``exact`` (:class:`Fraction`,
+default, keeps the paper's worked examples bit-exact) or ``fast``
+(``float``, for throughput).  Backend values only ever meet ``+``, ``-``,
+``*`` and truthiness, so further backends (intervals, log-space) drop in.
+
+**One DP traversal for *all* candidate anchors.**  The per-candidate
+formulation (``Pr(n ∈ q(P̂))`` = one anchored bottom-up pass per candidate
+``n``) multiplies the document-size factor by the answer size.  Instead,
+:meth:`EvaluationEngine.answer` carries, for every p-document node ``x``,
+
+* ``blocked(x)`` — the goal-set distribution of ``x``'s subtree where the
+  output nodes' ``D`` goals are never granted (equivalently: the anchored
+  run restricted to a subtree that does not contain the anchor), and
+* ``pinned(x)[n]`` — for each candidate ``n`` in ``x``'s subtree, the
+  distribution where output ``D`` goals are granted *only* at ``n``
+  (exactly the distribution of the classic anchored run),
+
+and combines them in a single post-order traversal: a node's ``pinned``
+entry for ``n`` reuses the ``blocked`` distributions of every child
+subtree not containing ``n`` (via prefix/suffix convolutions for ``ind``
+and ordinary nodes, and an O(1)-per-candidate mixture update for ``mux``),
+so each p-document node is visited exactly once no matter how many
+candidates there are.  The instrumented :attr:`EvaluationEngine.visits`
+counter asserts this in the test suite.
+
+Complexity: ``O(|P̂| · s²)`` shared work plus ``O(depth(n) · s²)`` per
+candidate ``n`` for the path recombinations — versus ``O(|answer| · |P̂| ·
+s²)`` for the per-candidate loop, where ``s`` bounds the number of
+distinct goal sets.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Mapping, Optional, Sequence, Union
+
+from ..errors import PatternError
+from ..probability import BackendLike, NumericBackend, get_backend
+from ..pxml.pdocument import PDocument, PNode, PNodeKind
+from ..tp.embedding import evaluate as evaluate_deterministic
+from ..tp.pattern import Axis, PatternNode, TreePattern
+
+__all__ = [
+    "EvaluationEngine",
+    "AnchorsLike",
+    "normalize_anchors",
+    "boolean_probability",
+    "node_probability",
+    "conditional_node_probability",
+    "query_answer",
+    "intersection_answer",
+    "intersection_node_probability",
+]
+
+#: A goal-set distribution: interned bitmask -> backend probability value.
+Distribution = dict
+
+AnchorKey = Union[PatternNode, tuple, int]
+AnchorsLike = Mapping[AnchorKey, int]
+"""Maps a pattern node to the document node Id it must be mapped to.
+
+Keys may be, in order of preference:
+
+* the :class:`PatternNode` object itself (stable across the evaluation);
+* a structural path as returned by :meth:`TreePattern.path_to` — valid
+  when a single pattern is evaluated; anchors can then be persisted and
+  re-applied to copies of the pattern;
+* ``(pattern_index, path)`` — a pattern index paired with such a path,
+  for multi-pattern (TP∩) evaluation, e.g. ``(1, q2.path_to(node))``;
+* ``id(pattern_node)`` (a bare ``int``).  **Deprecated**: object ids are
+  recycled by the interpreter and break on copied patterns; pass the
+  ``PatternNode`` or its path instead.  Accepted for backward
+  compatibility with the pre-engine ``Mapping[int, int]`` form.
+"""
+
+# Output-goal gates for the ordinary-node rewrite (identity-compared).
+_GRANT_ALL = object()   # unpinned evaluation: out D-goals behave normally
+_GRANT_NONE = object()  # blocked evaluation: out D-goals never granted
+
+
+def normalize_anchors(
+    patterns: Sequence[TreePattern], anchors: Optional[AnchorsLike]
+) -> dict[int, int]:
+    """Normalize any accepted anchor form to ``{id(pattern_node): doc_id}``.
+
+    See :data:`AnchorsLike` for the accepted key forms.
+
+    Raises:
+        PatternError: when a key does not resolve to a node of ``patterns``.
+    """
+    if not anchors:
+        return {}
+    known = {id(u) for q in patterns for u in q.root.iter_subtree()}
+    normalized: dict[int, int] = {}
+    for key, doc_id in anchors.items():
+        if isinstance(key, PatternNode):
+            uid = id(key)
+            if uid not in known:
+                raise PatternError(
+                    f"anchored node {key!r} is not part of any evaluated pattern"
+                )
+        elif isinstance(key, tuple):
+            uid = id(_resolve_path_key(patterns, key))
+        elif isinstance(key, int) and not isinstance(key, bool):
+            if key not in known:
+                raise PatternError(
+                    f"legacy anchor key {key} is not the id() of any "
+                    "evaluated pattern node"
+                )
+            uid = key
+        else:
+            raise PatternError(f"unsupported anchor key {key!r}")
+        normalized[uid] = int(doc_id)
+    return normalized
+
+
+def _resolve_path_key(
+    patterns: Sequence[TreePattern], key: tuple
+) -> PatternNode:
+    """Resolve a tuple anchor key to a pattern node.
+
+    The two accepted shapes are structurally distinct: ``(index, path)``
+    has exactly one tuple element, a bare :meth:`TreePattern.path_to`
+    result is all ints — so a bare path can never be misread as an
+    indexed one.
+    """
+    if len(key) == 2 and isinstance(key[0], int) and isinstance(key[1], tuple):
+        index, path = key
+        try:
+            pattern = patterns[index]
+        except IndexError:
+            raise PatternError(
+                f"anchor key {key!r}: no pattern with index {index}"
+            ) from None
+        return pattern.node_at(path)
+    if not all(isinstance(step, int) for step in key):
+        raise PatternError(f"malformed anchor path {key!r}")
+    if len(patterns) != 1:
+        raise PatternError(
+            f"bare anchor path {key!r} is ambiguous over {len(patterns)} "
+            "patterns; use (pattern_index, path) or a PatternNode key"
+        )
+    return patterns[0].node_at(key)
+
+
+class EvaluationEngine:
+    """One joint evaluation of several patterns over a p-document.
+
+    Args:
+        p: the p-document.
+        patterns: the tree patterns evaluated jointly (one for TP; several
+            for TP∩).
+        anchors: optional static anchors, see :data:`AnchorsLike`.
+        backend: numeric backend name or instance (default ``"exact"``).
+
+    Attributes:
+        visits: cumulative count of p-document nodes combined by the DP —
+            one increment per node per traversal.  :meth:`answer` performs
+            exactly one traversal regardless of the candidate count, so
+            after a fresh engine's ``answer()`` call this equals
+            ``p.size()``.
+    """
+
+    def __init__(
+        self,
+        p: PDocument,
+        patterns: Sequence[TreePattern],
+        anchors: Optional[AnchorsLike] = None,
+        backend: BackendLike = "exact",
+    ) -> None:
+        self.p = p
+        self.patterns = list(patterns)
+        self.backend: NumericBackend = get_backend(backend)
+        self.anchors = normalize_anchors(self.patterns, anchors)
+        self.visits = 0
+        self._zero = self.backend.zero
+        self._one = self.backend.one
+        self._convert = self.backend.convert
+        # Goal numbering: index i gets D-bit 1 << 2i and A-bit 1 << (2i+1).
+        self._goal_index: dict[int, int] = {}
+        self._pattern_nodes: list[PatternNode] = []
+        for pattern in self.patterns:
+            for u in pattern.root.iter_subtree():
+                self._goal_index[id(u)] = len(self._pattern_nodes)
+                self._pattern_nodes.append(u)
+        out_ids = {id(pattern.out) for pattern in self.patterns}
+        a_mask = 0
+        # label -> [(d_bit, a_bit, needed-below mask, anchor, is_out), ...]
+        self._by_label: dict[str, list[tuple[int, int, int, Optional[int], bool]]] = {}
+        for u in self._pattern_nodes:
+            index = self._goal_index[id(u)]
+            d_bit, a_bit = 1 << (2 * index), 1 << (2 * index + 1)
+            a_mask |= a_bit
+            need = 0
+            for child in u.children:
+                child_index = self._goal_index[id(child)]
+                need |= (
+                    1 << (2 * child_index)
+                    if child.axis is Axis.CHILD
+                    else 1 << (2 * child_index + 1)
+                )
+            self._by_label.setdefault(u.label, []).append(
+                (d_bit, a_bit, need, self.anchors.get(id(u)), id(u) in out_ids)
+            )
+        self._a_mask = a_mask
+        self._targets = 0
+        for pattern in self.patterns:
+            self._targets |= 1 << (2 * self._goal_index[id(pattern.root)])
+
+    # ------------------------------------------------------------------
+    # Goal ids (kept for compatibility with the pre-engine evaluator)
+    # ------------------------------------------------------------------
+    def d_goal(self, u: PatternNode) -> int:
+        return 2 * self._goal_index[id(u)]
+
+    def a_goal(self, u: PatternNode) -> int:
+        return 2 * self._goal_index[id(u)] + 1
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def match_probability(self):
+        """``Pr(every pattern has an embedding respecting the anchors)``.
+
+        One unpinned DP traversal; returns a backend value.
+        """
+        distribution = self._single_pass()
+        return self._mass_with_targets(distribution)
+
+    def candidate_ids(self) -> set[int]:
+        """Node Ids that *some* world may select for every pattern jointly.
+
+        Read off the maximal world, a superset of every possible world.
+        """
+        world = self.p.max_world()
+        sets = [evaluate_deterministic(q, world) for q in self.patterns]
+        return set.intersection(*sets) if sets else set()
+
+    def answer(
+        self, candidates: Optional[Sequence[int]] = None
+    ) -> dict:
+        """``(q1 ∩ ... ∩ qk)(P̂)`` as ``{node_id: probability}``.
+
+        Every output node is pinned to each candidate in turn — but all
+        candidates are processed by **one** bottom-up traversal of the
+        p-document (see the module docstring), so the document-size factor
+        of the complexity does not multiply with the answer size.
+
+        Args:
+            candidates: optional candidate node Ids; defaults to
+                :meth:`candidate_ids`.
+        """
+        if candidates is None:
+            candidates = self.candidate_ids()
+        candidate_set = frozenset(candidates)
+        if not candidate_set:
+            return {}
+        zero = self._zero
+        _, pinned = self._pinned_pass(candidate_set)
+        answer: dict = {}
+        for node_id in sorted(candidate_set):
+            distribution = pinned.get(node_id)
+            if distribution is None:
+                continue
+            probability = self._mass_with_targets(distribution)
+            if probability > zero:
+                answer[node_id] = probability
+        return answer
+
+    # ------------------------------------------------------------------
+    # Shared distribution machinery
+    # ------------------------------------------------------------------
+    # Distributions are immutable by convention: every operation below
+    # builds a fresh dict or returns an existing one unmodified, so they
+    # may be shared freely between memo entries.
+    def _mass_with_targets(self, distribution: Distribution):
+        targets = self._targets
+        total = self._zero
+        for mask, probability in distribution.items():
+            if mask & targets == targets:
+                total = total + probability
+        return total
+
+    def _unit(self) -> Distribution:
+        return {0: self._one}
+
+    def _convolve(self, d1: Distribution, d2: Distribution) -> Distribution:
+        """Distribution of ``S1 | S2`` for independent ``S1 ~ d1, S2 ~ d2``."""
+        one = self._one
+        if len(d1) == 1:
+            ((mask, value),) = d1.items()
+            if mask == 0 and value == one:
+                return d2
+        if len(d2) == 1:
+            ((mask, value),) = d2.items()
+            if mask == 0 and value == one:
+                return d1
+        zero = self._zero
+        result: Distribution = {}
+        get = result.get
+        for mask1, p1 in d1.items():
+            for mask2, p2 in d2.items():
+                weighted = p1 * p2
+                if weighted:
+                    union = mask1 | mask2
+                    result[union] = get(union, zero) + weighted
+        return result
+
+    def _emit(self, node: PNode, below: int, gate) -> int:
+        """The goal set emitted by ordinary ``node`` over combined ``below``.
+
+        ``gate`` controls output-node ``D`` goals: :data:`_GRANT_ALL`
+        grants them like any other goal, :data:`_GRANT_NONE` suppresses
+        them (the "blocked" evaluations of the single-pass answer DP).
+        """
+        emitted = below & self._a_mask  # A goals propagate upward
+        entries = self._by_label.get(node.label)
+        if entries:
+            node_id = node.node_id
+            for d_bit, a_bit, need, anchor, is_out in entries:
+                if anchor is not None and anchor != node_id:
+                    continue
+                if is_out and gate is _GRANT_NONE:
+                    continue
+                if below & need == need:
+                    emitted |= d_bit | a_bit
+        return emitted
+
+    def _rewrite(self, node: PNode, distribution: Distribution, gate) -> Distribution:
+        zero = self._zero
+        result: Distribution = {}
+        get = result.get
+        emit_cache: dict[int, int] = {}
+        for mask, probability in distribution.items():
+            emitted = emit_cache.get(mask)
+            if emitted is None:
+                emitted = emit_cache[mask] = self._emit(node, mask, gate)
+            result[emitted] = get(emitted, zero) + probability
+        return result
+
+    def _mixture(self, probability, distribution: Distribution) -> Distribution:
+        """``p · distribution + (1 − p) · δ_∅`` — one ind-edge mixture."""
+        zero, one = self._zero, self._one
+        result: Distribution = {}
+        deficit = one - probability
+        if deficit:
+            result[0] = deficit
+        if probability:
+            get = result.get
+            for mask, value in distribution.items():
+                weighted = probability * value
+                if weighted:
+                    result[mask] = get(mask, zero) + weighted
+        if not result:  # pragma: no cover - distributions carry total mass 1
+            result[0] = zero
+        return result
+
+    # ------------------------------------------------------------------
+    # Unpinned single-distribution DP (anchored / Boolean evaluation)
+    # ------------------------------------------------------------------
+    def _single_pass(self) -> Distribution:
+        memo: dict[int, Distribution] = {}
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            self.visits += 1
+            memo[node.node_id] = self._combine_single(node, memo)
+            for child in node.children:
+                del memo[child.node_id]
+        return memo[self.p.root.node_id]
+
+    def _combine_single(self, node: PNode, memo: dict) -> Distribution:
+        if node.kind is PNodeKind.ORDINARY:
+            combined = self._unit()
+            for child in node.children:
+                combined = self._convolve(combined, memo[child.node_id])
+            return self._rewrite(node, combined, _GRANT_ALL)
+        assert node.probabilities is not None
+        if node.kind is PNodeKind.MUX:
+            return self._mux_mixture(
+                node, [memo[child.node_id] for child in node.children]
+            )
+        combined = self._unit()  # ind
+        for child in node.children:
+            combined = self._convolve(
+                combined,
+                self._mixture(
+                    self._convert(node.probabilities[child.node_id]),
+                    memo[child.node_id],
+                ),
+            )
+        return combined
+
+    def _mux_mixture(
+        self, node: PNode, child_distributions: Sequence[Distribution]
+    ) -> Distribution:
+        zero, one = self._zero, self._one
+        assert node.probabilities is not None
+        result: Distribution = {}
+        get = result.get
+        chosen_mass = zero
+        for child, distribution in zip(node.children, child_distributions):
+            p_child = self._convert(node.probabilities[child.node_id])
+            if not p_child:
+                continue
+            chosen_mass = chosen_mass + p_child
+            for mask, probability in distribution.items():
+                weighted = p_child * probability
+                if weighted:
+                    result[mask] = get(mask, zero) + weighted
+        deficit = one - chosen_mass
+        if deficit:
+            result[0] = get(0, zero) + deficit
+        return result
+
+    # ------------------------------------------------------------------
+    # Single-pass multi-candidate DP
+    # ------------------------------------------------------------------
+    def _pinned_pass(
+        self, candidate_set: frozenset
+    ) -> tuple[Distribution, dict]:
+        """One post-order traversal computing ``(blocked, pinned)`` per node.
+
+        Returns the root's pair; ``pinned`` maps each candidate Id to the
+        goal-set distribution of the run anchored at that candidate.
+        """
+        memo: dict[int, tuple[Distribution, dict]] = {}
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                for child in node.children:
+                    stack.append((child, False))
+                continue
+            self.visits += 1
+            if node.kind is PNodeKind.ORDINARY:
+                entry = self._combine_ordinary_pinned(node, memo, candidate_set)
+            elif node.kind is PNodeKind.MUX:
+                entry = self._combine_mux_pinned(node, memo)
+            else:
+                entry = self._combine_ind_pinned(node, memo)
+            memo[node.node_id] = entry
+            for child in node.children:
+                del memo[child.node_id]
+        return memo[self.p.root.node_id]
+
+    def _combine_ordinary_pinned(
+        self, node: PNode, memo: dict, candidate_set: frozenset
+    ) -> tuple[Distribution, dict]:
+        children = node.children
+        blocked_children = [memo[child.node_id][0] for child in children]
+        # pre[i] = convolution of the first i children's blocked distributions
+        pre = [self._unit()]
+        for distribution in blocked_children:
+            pre.append(self._convolve(pre[-1], distribution))
+        combined_all = pre[-1]
+        blocked = self._rewrite(node, combined_all, _GRANT_NONE)
+        pinned: dict = {}
+        if node.node_id in candidate_set:
+            # Pinning at the node itself: out goals may be granted here and
+            # nowhere below — which is exactly the children-blocked run.
+            pinned[node.node_id] = self._rewrite(node, combined_all, _GRANT_ALL)
+        if any(memo[child.node_id][1] for child in children):
+            count = len(children)
+            # suf[i] = convolution of children i.. 's blocked distributions
+            suf = [self._unit()] * (count + 1)
+            for i in range(count - 1, -1, -1):
+                suf[i] = self._convolve(blocked_children[i], suf[i + 1])
+            for j, child in enumerate(children):
+                child_pinned = memo[child.node_id][1]
+                if not child_pinned:
+                    continue
+                others = self._convolve(pre[j], suf[j + 1])
+                for candidate, distribution in child_pinned.items():
+                    below = self._convolve(others, distribution)
+                    # The pin lives strictly below, so out goals are not
+                    # granted at this node: the blocked gate is exact.
+                    pinned[candidate] = self._rewrite(node, below, _GRANT_NONE)
+        return blocked, pinned
+
+    def _combine_mux_pinned(
+        self, node: PNode, memo: dict
+    ) -> tuple[Distribution, dict]:
+        zero = self._zero
+        assert node.probabilities is not None
+        blocked = self._mux_mixture(
+            node, [memo[child.node_id][0] for child in node.children]
+        )
+        pinned: dict = {}
+        for child in node.children:
+            child_pinned = memo[child.node_id][1]
+            if not child_pinned:
+                continue
+            p_child = self._convert(node.probabilities[child.node_id])
+            # rest = blocked − p_child · blocked(child): the mixture of every
+            # *other* choice, shared by all candidates below this child.
+            rest = dict(blocked)
+            if p_child:
+                for mask, probability in memo[child.node_id][0].items():
+                    weighted = p_child * probability
+                    if weighted:
+                        remaining = rest.get(mask, zero) - weighted
+                        if remaining:
+                            rest[mask] = remaining
+                        else:
+                            del rest[mask]
+            for candidate, distribution in child_pinned.items():
+                combined = dict(rest)
+                if p_child:
+                    get = combined.get
+                    for mask, probability in distribution.items():
+                        weighted = p_child * probability
+                        if weighted:
+                            combined[mask] = get(mask, zero) + weighted
+                pinned[candidate] = combined
+        return blocked, pinned
+
+    def _combine_ind_pinned(
+        self, node: PNode, memo: dict
+    ) -> tuple[Distribution, dict]:
+        assert node.probabilities is not None
+        children = node.children
+        edge_probabilities = [
+            self._convert(node.probabilities[child.node_id]) for child in children
+        ]
+        mixtures = [
+            self._mixture(p_child, memo[child.node_id][0])
+            for p_child, child in zip(edge_probabilities, children)
+        ]
+        pre = [self._unit()]
+        for mixture in mixtures:
+            pre.append(self._convolve(pre[-1], mixture))
+        blocked = pre[-1]
+        pinned: dict = {}
+        if any(memo[child.node_id][1] for child in children):
+            count = len(children)
+            suf = [self._unit()] * (count + 1)
+            for i in range(count - 1, -1, -1):
+                suf[i] = self._convolve(mixtures[i], suf[i + 1])
+            for j, child in enumerate(children):
+                child_pinned = memo[child.node_id][1]
+                if not child_pinned:
+                    continue
+                others = self._convolve(pre[j], suf[j + 1])
+                p_child = edge_probabilities[j]
+                for candidate, distribution in child_pinned.items():
+                    pinned[candidate] = self._convolve(
+                        others, self._mixture(p_child, distribution)
+                    )
+        return blocked, pinned
+
+
+# ----------------------------------------------------------------------
+# Convenience wrappers
+# ----------------------------------------------------------------------
+def boolean_probability(
+    p: PDocument,
+    q: TreePattern,
+    anchors: Optional[AnchorsLike] = None,
+    backend: BackendLike = "exact",
+):
+    """``Pr(q matches P)`` — the Boolean-query probability."""
+    return EvaluationEngine(p, [q], anchors, backend).match_probability()
+
+
+def node_probability(
+    p: PDocument, q: TreePattern, node_id: int, backend: BackendLike = "exact"
+):
+    """``Pr(n ∈ q(P))`` for a specific ordinary node ``n``.
+
+    One full anchored DP per call; prefer :func:`query_answer` (or
+    :meth:`EvaluationEngine.answer`) when several nodes are needed.
+    """
+    return EvaluationEngine(
+        p, [q], {q.out: node_id}, backend
+    ).match_probability()
+
+
+def conditional_node_probability(
+    p: PDocument, q: TreePattern, node_id: int, backend: BackendLike = "exact"
+):
+    """``Pr(n ∈ q(P) | n ∈ P)`` (§5.2)."""
+    resolved = get_backend(backend)
+    appearance = resolved.convert(p.appearance_probability(node_id))
+    if not appearance:
+        return resolved.zero
+    return node_probability(p, q, node_id, backend) / appearance
+
+
+def query_answer(
+    p: PDocument,
+    q: TreePattern,
+    backend: BackendLike = "exact",
+    stats: Optional[dict] = None,
+) -> dict:
+    """``q(P̂)``: node Id ↦ probability, for all nodes with probability > 0.
+
+    Candidates are read off the maximal world (a superset of every world);
+    their probabilities are then all computed by **one** DP traversal of
+    the p-document.
+
+    Args:
+        stats: optional instrumentation sink; receives ``node_visits``
+            (DP node visits — equals ``p.size()``) and ``candidates``.
+    """
+    engine = EvaluationEngine(p, [q], backend=backend)
+    candidates = engine.candidate_ids()
+    answer = engine.answer(candidates)
+    if stats is not None:
+        stats["node_visits"] = engine.visits
+        stats["candidates"] = len(candidates)
+    return answer
+
+
+def intersection_node_probability(
+    p: PDocument,
+    patterns: Sequence[TreePattern],
+    node_id: int,
+    backend: BackendLike = "exact",
+):
+    """``Pr(n ∈ (q1 ∩ ... ∩ qk)(P))`` — joint, correlation-aware."""
+    anchors = {q.out: node_id for q in patterns}
+    return EvaluationEngine(p, patterns, anchors, backend).match_probability()
+
+
+def intersection_answer(
+    p: PDocument,
+    patterns: Sequence[TreePattern],
+    backend: BackendLike = "exact",
+    stats: Optional[dict] = None,
+) -> dict:
+    """``(q1 ∩ ... ∩ qk)(P̂)`` as node Id ↦ probability — single DP pass."""
+    engine = EvaluationEngine(p, patterns, backend=backend)
+    candidates = engine.candidate_ids()
+    answer = engine.answer(candidates)
+    if stats is not None:
+        stats["node_visits"] = engine.visits
+        stats["candidates"] = len(candidates)
+    return answer

@@ -1,51 +1,40 @@
-"""Exact evaluation of TP / TP∩ queries over p-documents.
+"""Compatibility layer over the single-pass evaluation engine.
 
-The algorithm is a bottom-up dynamic program over the p-document that tracks,
-for every node, the exact joint distribution over *goal sets*.  For every
-pattern node ``u`` of every query there are two goals:
+The goal-set dynamic program documented here historically lived in this
+module as ``ProbEvaluator``, which re-ran the full bottom-up DP once per
+anchored candidate and computed in :class:`fractions.Fraction` only.  The
+production path is now :mod:`repro.prob.engine`, which evaluates all
+candidate anchors in a single traversal, interns goal sets as integer
+bitmasks, and computes through a pluggable numeric backend.  This module
+keeps the original surface:
 
-* ``D(u)`` — the pattern subtree rooted at ``u`` embeds with ``u`` mapped to
-  *this* document node;
-* ``A(u)`` — same, but ``u`` mapped to this node *or a proper descendant*.
+* :class:`ProbEvaluator` — a thin shim delegating to
+  :class:`repro.prob.engine.EvaluationEngine`;
+* the convenience wrappers (``query_answer``, ``node_probability``, ...)
+  re-exported from the engine, now accepting an optional ``backend``.
 
-Given a p-document node ``x`` (conditional on ``x`` being present, so all the
-randomness considered lies strictly below ``x``):
-
-* an **ordinary** node combines the distributions of its children by
-  union-convolution (children subtrees are probabilistically independent),
-  then rewrites the combined goal set: ``D(u)`` holds at ``x`` iff labels and
-  anchors match and every ``/``-child goal ``D(u')`` and every ``//``-child
-  goal ``A(u'')`` is present in the combined set; ``A(u)`` holds iff ``D(u)``
-  holds at ``x`` or ``A(u)`` was contributed by some child;
-* a **mux** node yields the probability mixture of its children's
-  distributions (plus the "no choice" deficit on the empty set);
-* an **ind** node union-convolves the mixtures ``p_i · dist(child_i) +
-  (1 − p_i) · δ_∅``.
-
-Distributional nodes are transparent for goals — exactly matching the run
-semantics in which ordinary children of deleted distributional nodes attach
-to the closest ordinary ancestor.
-
-Because the DP carries the *joint* distribution of all goals, it evaluates
-intersections of several patterns in one pass: the events "pattern ``q_i``
-matches" are read off the same root distribution, with all correlations
-accounted for.  Anchors (pattern node ↦ required document node Id) pin
-``out(q) ↦ n`` and implement the ``Id(n)``-marker technique of §3.1.
-
-Complexity: ``O(|P̂| · s²)`` where ``s`` bounds the number of distinct goal
-sets — polynomial in the document for fixed queries, worst-case exponential
-in the query sizes, as the paper (and [22]) state.
+The DP itself (goals ``D(u)``/``A(u)``, union-convolution at ordinary and
+``ind`` nodes, probability mixtures at ``mux`` nodes, anchors as the
+``Id(n)``-marker technique of §3.1) is documented in
+:mod:`repro.prob.engine`.
 """
 
 from __future__ import annotations
 
-from fractions import Fraction
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
-from ..probability import ONE, ZERO
-from ..pxml.pdocument import PDocument, PNode, PNodeKind
-from ..tp.embedding import evaluate as evaluate_deterministic
-from ..tp.pattern import Axis, PatternNode, TreePattern
+from ..pxml.pdocument import PDocument
+from ..tp.pattern import PatternNode, TreePattern
+from .engine import (
+    AnchorsLike,
+    EvaluationEngine,
+    boolean_probability,
+    conditional_node_probability,
+    intersection_answer,
+    intersection_node_probability,
+    node_probability,
+    query_answer,
+)
 
 __all__ = [
     "ProbEvaluator",
@@ -57,234 +46,46 @@ __all__ = [
     "intersection_node_probability",
 ]
 
-Anchors = Mapping[int, int]
-GoalSet = frozenset[int]
-Distribution = dict[GoalSet, Fraction]
-
-_EMPTY: GoalSet = frozenset()
+#: Legacy alias; see :data:`repro.prob.engine.AnchorsLike` for the accepted
+#: key forms (the historical ``{id(pattern_node): doc_id}`` form included).
+Anchors = AnchorsLike
 
 
 class ProbEvaluator:
     """One joint evaluation of several anchored patterns over a p-document.
 
+    A compatibility shim over :class:`repro.prob.engine.EvaluationEngine`
+    (exact backend, per-call DP).  New code should use the engine
+    directly — in particular, its :meth:`~EvaluationEngine.answer` method
+    computes all candidates in one traversal instead of one
+    ``all_match_probability`` run per anchored candidate.
+
     Args:
         p: the p-document.
         patterns: the tree patterns evaluated jointly (one for TP; several
             for TP∩).
-        anchors: optional map ``id(pattern_node) -> document node Id``.
+        anchors: optional anchors; ``PatternNode`` keys, structural paths,
+            or the deprecated ``id(pattern_node)`` ints (see
+            :data:`repro.prob.engine.AnchorsLike`).
     """
 
     def __init__(
         self,
         p: PDocument,
         patterns: Sequence[TreePattern],
-        anchors: Optional[Anchors] = None,
+        anchors: Optional[AnchorsLike] = None,
     ) -> None:
         self.p = p
         self.patterns = list(patterns)
-        self.anchors = dict(anchors or {})
-        # Goal numbering: 2 * index for D(u), 2 * index + 1 for A(u).
-        self._goal_index: dict[int, int] = {}
-        self._pattern_nodes: list[PatternNode] = []
-        for pattern in self.patterns:
-            for u in pattern.root.iter_subtree():
-                self._goal_index[id(u)] = len(self._pattern_nodes)
-                self._pattern_nodes.append(u)
-        # Group pattern nodes by label for quick goal recomputation.
-        self._by_label: dict[str, list[PatternNode]] = {}
-        for u in self._pattern_nodes:
-            self._by_label.setdefault(u.label, []).append(u)
+        self._engine = EvaluationEngine(p, self.patterns, anchors)
+        self.anchors = dict(self._engine.anchors)
 
-    # -- goal ids -------------------------------------------------------
     def d_goal(self, u: PatternNode) -> int:
-        return 2 * self._goal_index[id(u)]
+        return self._engine.d_goal(u)
 
     def a_goal(self, u: PatternNode) -> int:
-        return 2 * self._goal_index[id(u)] + 1
+        return self._engine.a_goal(u)
 
-    # -- public API -----------------------------------------------------
-    def all_match_probability(self) -> Fraction:
+    def all_match_probability(self):
         """``Pr(every pattern has an embedding respecting the anchors)``."""
-        distribution = self._distribution(self.p.root)
-        targets = [self.d_goal(pattern.root) for pattern in self.patterns]
-        return sum(
-            (
-                probability
-                for goals, probability in distribution.items()
-                if all(t in goals for t in targets)
-            ),
-            ZERO,
-        )
-
-    # -- the DP ---------------------------------------------------------
-    def _distribution(self, x: PNode) -> Distribution:
-        """Iterative post-order DP (documents may be deep)."""
-        memo: dict[int, Distribution] = {}
-        stack: list[tuple[PNode, bool]] = [(x, False)]
-        while stack:
-            node, expanded = stack.pop()
-            if expanded:
-                memo[node.node_id] = self._combine(node, memo)
-                continue
-            stack.append((node, True))
-            for child in node.children:
-                stack.append((child, False))
-        return memo[x.node_id]
-
-    def _combine(self, node: PNode, memo: dict[int, Distribution]) -> Distribution:
-        if node.kind is PNodeKind.ORDINARY:
-            combined: Distribution = {_EMPTY: ONE}
-            for child in node.children:
-                combined = _union_convolve(combined, memo[child.node_id])
-            return self._rewrite_at_ordinary(node, combined)
-        assert node.probabilities is not None
-        if node.kind is PNodeKind.MUX:
-            result: Distribution = {}
-            chosen_mass = ZERO
-            for child in node.children:
-                p_child = node.probabilities[child.node_id]
-                if p_child == ZERO:
-                    continue
-                chosen_mass += p_child
-                for goals, probability in memo[child.node_id].items():
-                    weighted = p_child * probability
-                    if weighted:
-                        result[goals] = result.get(goals, ZERO) + weighted
-            deficit = ONE - chosen_mass
-            if deficit:
-                result[_EMPTY] = result.get(_EMPTY, ZERO) + deficit
-            return result
-        # ind
-        result = {_EMPTY: ONE}
-        for child in node.children:
-            p_child = node.probabilities[child.node_id]
-            mixture: Distribution = {}
-            if p_child < ONE:
-                mixture[_EMPTY] = ONE - p_child
-            if p_child > ZERO:
-                for goals, probability in memo[child.node_id].items():
-                    weighted = p_child * probability
-                    if weighted:
-                        mixture[goals] = mixture.get(goals, ZERO) + weighted
-            result = _union_convolve(result, mixture)
-        return result
-
-    def _rewrite_at_ordinary(self, node: PNode, combined: Distribution) -> Distribution:
-        """Map each combined child goal set to the goal set emitted by ``node``."""
-        result: Distribution = {}
-        for goals, probability in combined.items():
-            emitted = self._goals_at(node, goals)
-            result[emitted] = result.get(emitted, ZERO) + probability
-        return result
-
-    def _goals_at(self, node: PNode, below: GoalSet) -> GoalSet:
-        emitted: set[int] = set()
-        label = node.label
-        assert label is not None
-        for u in self._by_label.get(label, ()):  # D goals: match exactly here
-            if not self._anchor_ok(u, node):
-                continue
-            if self._children_satisfied(u, below):
-                emitted.add(self.d_goal(u))
-        for u in self._pattern_nodes:  # A goals: here or strictly below
-            a = self.a_goal(u)
-            if a in below or self.d_goal(u) in emitted:
-                emitted.add(a)
-        return frozenset(emitted)
-
-    def _children_satisfied(self, u: PatternNode, below: GoalSet) -> bool:
-        for child in u.children:
-            needed = (
-                self.d_goal(child)
-                if child.axis is Axis.CHILD
-                else self.a_goal(child)
-            )
-            if needed not in below:
-                return False
-        return True
-
-    def _anchor_ok(self, u: PatternNode, node: PNode) -> bool:
-        required = self.anchors.get(id(u))
-        return required is None or required == node.node_id
-
-
-def _union_convolve(d1: Distribution, d2: Distribution) -> Distribution:
-    """Distribution of ``S1 ∪ S2`` for independent ``S1 ~ d1``, ``S2 ~ d2``."""
-    if len(d1) == 1 and _EMPTY in d1 and d1[_EMPTY] == ONE:
-        return dict(d2)
-    result: Distribution = {}
-    for goals1, p1 in d1.items():
-        for goals2, p2 in d2.items():
-            weighted = p1 * p2
-            if not weighted:
-                continue
-            union = goals1 | goals2
-            result[union] = result.get(union, ZERO) + weighted
-    return result
-
-
-# ----------------------------------------------------------------------
-# Convenience wrappers
-# ----------------------------------------------------------------------
-def boolean_probability(
-    p: PDocument,
-    q: TreePattern,
-    anchors: Optional[Anchors] = None,
-) -> Fraction:
-    """``Pr(q matches P)`` — the Boolean-query probability."""
-    return ProbEvaluator(p, [q], anchors).all_match_probability()
-
-
-def node_probability(p: PDocument, q: TreePattern, node_id: int) -> Fraction:
-    """``Pr(n ∈ q(P))`` for a specific ordinary node ``n``."""
-    return ProbEvaluator(
-        p, [q], {id(q.out): node_id}
-    ).all_match_probability()
-
-
-def conditional_node_probability(
-    p: PDocument, q: TreePattern, node_id: int
-) -> Fraction:
-    """``Pr(n ∈ q(P) | n ∈ P)`` (§5.2)."""
-    appearance = p.appearance_probability(node_id)
-    if appearance == ZERO:
-        return ZERO
-    return node_probability(p, q, node_id) / appearance
-
-
-def query_answer(p: PDocument, q: TreePattern) -> dict[int, Fraction]:
-    """``q(P̂)``: node Id ↦ probability, for all nodes with probability > 0.
-
-    Candidates are read off the maximal world (a superset of every world),
-    then each candidate's probability is computed by an anchored DP run.
-    """
-    candidates = evaluate_deterministic(q, p.max_world())
-    answer: dict[int, Fraction] = {}
-    for node_id in sorted(candidates):
-        probability = node_probability(p, q, node_id)
-        if probability > ZERO:
-            answer[node_id] = probability
-    return answer
-
-
-def intersection_node_probability(
-    p: PDocument, patterns: Sequence[TreePattern], node_id: int
-) -> Fraction:
-    """``Pr(n ∈ (q1 ∩ ... ∩ qk)(P))`` — joint, correlation-aware."""
-    anchors = {id(q.out): node_id for q in patterns}
-    return ProbEvaluator(p, patterns, anchors).all_match_probability()
-
-
-def intersection_answer(
-    p: PDocument, patterns: Sequence[TreePattern]
-) -> dict[int, Fraction]:
-    """``(q1 ∩ ... ∩ qk)(P̂)`` as node Id ↦ probability."""
-    world = p.max_world()
-    candidate_sets = [evaluate_deterministic(q, world) for q in patterns]
-    candidates = set.intersection(*candidate_sets) if candidate_sets else set()
-    answer: dict[int, Fraction] = {}
-    for node_id in sorted(candidates):
-        probability = intersection_node_probability(p, patterns, node_id)
-        if probability > ZERO:
-            answer[node_id] = probability
-    return answer
+        return self._engine.match_probability()

@@ -1,22 +1,49 @@
-"""Exact probability arithmetic helpers.
+"""Probability arithmetic helpers and pluggable numeric backends.
 
-All probabilities inside the library are :class:`fractions.Fraction` values so
-that the worked examples of the paper (0.4725, 0.325, 0.288, ...) are
-reproduced *exactly*.  The public API accepts ``float``, ``int``, ``str``,
-``Decimal`` or ``Fraction`` and converts decimal-faithfully: a float such as
-``0.1`` is interpreted as the decimal literal ``1/10`` (via ``str``), not as
-its binary expansion.
+P-documents always *store* probabilities as :class:`fractions.Fraction`
+values so that the worked examples of the paper (0.4725, 0.325, 0.288, ...)
+are reproduced *exactly*.  The public API accepts ``float``, ``int``,
+``str``, ``Decimal`` or ``Fraction`` and converts decimal-faithfully: a
+float such as ``0.1`` is interpreted as the decimal literal ``1/10`` (via
+``str``), not as its binary expansion.
+
+Probability *computation* (the dynamic program of
+:mod:`repro.prob.engine`) is parameterized by a :class:`NumericBackend`:
+
+* ``"exact"`` — :class:`Fraction` arithmetic, the default; keeps every
+  paper example bit-exact;
+* ``"fast"`` — IEEE ``float`` arithmetic for throughput; results agree
+  with ``exact`` to within ordinary floating-point error (the property
+  suite asserts 1e-9 on random instances).
+
+Backends are looked up by name with :func:`get_backend`; any object
+satisfying the protocol (``zero``/``one`` constants plus ``convert`` /
+``to_fraction``) may be passed wherever a backend name is accepted, so
+interval or log-space arithmetic can be plugged in without touching the
+engine.
 """
 
 from __future__ import annotations
 
 from decimal import Decimal
 from fractions import Fraction
-from typing import Union
+from typing import Protocol, Union, runtime_checkable
 
 from .errors import ProbabilityError
 
-__all__ = ["Probability", "ProbabilityLike", "as_probability", "as_fraction", "prob_str"]
+__all__ = [
+    "Probability",
+    "ProbabilityLike",
+    "as_probability",
+    "as_fraction",
+    "prob_str",
+    "NumericBackend",
+    "BackendLike",
+    "ExactBackend",
+    "FastBackend",
+    "BACKENDS",
+    "get_backend",
+]
 
 #: The internal representation of probabilities.
 Probability = Fraction
@@ -64,17 +91,112 @@ def as_probability(value: ProbabilityLike) -> Fraction:
     return frac
 
 
-def prob_str(value: Fraction, digits: int = 6) -> str:
-    """Human-friendly rendering of an exact probability.
+def prob_str(value: Union[Fraction, float], digits: int = 6) -> str:
+    """Human-friendly rendering of a probability.
 
-    Shows the exact decimal when it terminates within ``digits`` digits,
-    otherwise the fraction followed by a float approximation.
+    For exact values, shows the exact decimal when it terminates within
+    ``digits`` digits, otherwise the fraction followed by a float
+    approximation.  ``float`` values (the ``fast`` backend's output) are
+    rendered with ``digits`` significant digits.
 
     >>> prob_str(Fraction(189, 400))
     '0.4725'
     """
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
     scaled = value * 10**digits
     if scaled.denominator == 1:
         text = f"{float(value):.{digits}f}".rstrip("0")
         return text + "0" if text.endswith(".") else text
     return f"{value} (~{float(value):.6g})"
+
+
+# ----------------------------------------------------------------------
+# Numeric backends
+# ----------------------------------------------------------------------
+@runtime_checkable
+class NumericBackend(Protocol):
+    """The numeric layer the evaluation engine computes in.
+
+    Backend values must support ``+``, ``-``, ``*``, ``/``, comparison
+    with each other and truthiness (zero is falsy); the engine otherwise
+    treats them opaquely.
+    """
+
+    name: str
+    zero: object
+    one: object
+
+    def convert(self, value: ProbabilityLike) -> object:
+        """Bring a stored (exact) probability into this backend's domain."""
+
+    def to_fraction(self, value: object) -> Fraction:
+        """Project a backend value back onto an exact :class:`Fraction`."""
+
+
+class ExactBackend:
+    """:class:`Fraction` arithmetic — bit-exact, the default."""
+
+    name = "exact"
+    zero = ZERO
+    one = ONE
+
+    @staticmethod
+    def convert(value: ProbabilityLike) -> Fraction:
+        return value if isinstance(value, Fraction) else as_fraction(value)
+
+    @staticmethod
+    def to_fraction(value: Fraction) -> Fraction:
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "ExactBackend()"
+
+
+class FastBackend:
+    """IEEE ``float`` arithmetic — for throughput over exactness."""
+
+    name = "fast"
+    zero = 0.0
+    one = 1.0
+
+    @staticmethod
+    def convert(value: ProbabilityLike) -> float:
+        return float(value)
+
+    @staticmethod
+    def to_fraction(value: float) -> Fraction:
+        return as_fraction(float(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "FastBackend()"
+
+
+#: The built-in backend registry, keyed by backend name.
+BACKENDS: dict[str, NumericBackend] = {
+    ExactBackend.name: ExactBackend(),
+    FastBackend.name: FastBackend(),
+}
+
+#: A backend name or a backend instance.
+BackendLike = Union[str, NumericBackend]
+
+
+def get_backend(backend: BackendLike) -> NumericBackend:
+    """Resolve a backend name (``"exact"``, ``"fast"``) or pass through
+    an object already satisfying :class:`NumericBackend`.
+
+    Raises:
+        ProbabilityError: for unknown names or non-backend objects.
+    """
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]
+        except KeyError:
+            raise ProbabilityError(
+                f"unknown numeric backend {backend!r}; "
+                f"available: {sorted(BACKENDS)}"
+            ) from None
+    if isinstance(backend, NumericBackend):
+        return backend
+    raise ProbabilityError(f"not a numeric backend: {backend!r}")

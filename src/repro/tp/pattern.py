@@ -134,6 +134,44 @@ class TreePattern:
         raise PatternError("node is not on the main branch")
 
     # ------------------------------------------------------------------
+    # Structural addressing
+    # ------------------------------------------------------------------
+    def path_to(self, node: PatternNode) -> tuple[int, ...]:
+        """The structural address of ``node``: child indices from the root.
+
+        Paths survive :meth:`copy` (``copy.node_at(self.path_to(n))`` is the
+        copy of ``n``) and serialization, which makes them the stable way to
+        refer to a pattern node — e.g. when anchoring pattern nodes to
+        document nodes in :mod:`repro.prob.engine`.
+        """
+        indices: list[int] = []
+        current = node
+        while current.parent is not None:
+            parent = current.parent
+            for position, child in enumerate(parent.children):
+                if child is current:
+                    indices.append(position)
+                    break
+            else:  # pragma: no cover - inconsistent parent pointer
+                raise PatternError("node is not a child of its parent")
+            current = parent
+        if current is not self.root:
+            raise PatternError("node is not part of this pattern tree")
+        return tuple(reversed(indices))
+
+    def node_at(self, path: tuple[int, ...]) -> PatternNode:
+        """The node at a structural address produced by :meth:`path_to`."""
+        current = self.root
+        for index in path:
+            try:
+                current = current.children[index]
+            except IndexError:
+                raise PatternError(
+                    f"no node at path {tuple(path)!r} in {self.xpath()}"
+                ) from None
+        return current
+
+    # ------------------------------------------------------------------
     # Copying
     # ------------------------------------------------------------------
     def copy(self) -> "TreePattern":

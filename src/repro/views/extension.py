@@ -22,7 +22,8 @@ import itertools
 from dataclasses import dataclass
 from fractions import Fraction
 
-from ..prob.evaluator import query_answer
+from ..probability import BackendLike
+from ..prob.engine import query_answer
 from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
@@ -133,9 +134,16 @@ def _copy_doc_with_markers(source, fresh) -> DocNode:
     return copy
 
 
-def probabilistic_extension(p: PDocument, view: View) -> ProbabilisticViewExtension:
-    """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees + Id markers)."""
-    answer = query_answer(p, view.pattern)
+def probabilistic_extension(
+    p: PDocument, view: View, backend: BackendLike = "exact"
+) -> ProbabilisticViewExtension:
+    """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees + Id markers).
+
+    The view's selection probabilities are computed by the single-pass
+    engine in the given numeric backend; with ``"fast"`` the extension's
+    ind-edge probabilities are floats instead of exact Fractions.
+    """
+    answer = query_answer(p, view.pattern, backend=backend)
     fresh = itertools.count(1)
     root = PNode(0, PNodeKind.ORDINARY, view.doc_label)
     bundle = PNode(next(fresh), PNodeKind.IND)
