@@ -11,6 +11,9 @@ Tractability", VLDB 2012 (PVLDB 5(11):1148-1159):
   single-pass engine with pluggable numeric backends — ``exact``
   Fractions (default) or ``fast`` floats (see
   :class:`repro.prob.EvaluationEngine`);
+* workload sessions (:class:`repro.prob.QuerySession`): batches of
+  queries evaluated in one shared traversal with cross-query subtree
+  memoization, invalidated by p-document mutation epochs;
 * view extensions with persistent-identity markers;
 * probabilistic condition-independence (c-independence);
 * ``TPrewrite`` — single-view probabilistic rewritings (restricted and
@@ -40,6 +43,7 @@ from .errors import (
     CompensationError,
     IntersectionError,
     UnsatisfiableIntersectionError,
+    UnknownViewError,
     RewritingError,
     NoRewritingError,
     ProbabilityError,
@@ -87,6 +91,7 @@ from .tpi import (
 )
 from .prob import (
     EvaluationEngine,
+    QuerySession,
     query_answer,
     node_probability,
     boolean_probability,
@@ -111,8 +116,8 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError", "DocumentError", "PDocumentError", "PatternError",
     "PatternParseError", "CompensationError", "IntersectionError",
-    "UnsatisfiableIntersectionError", "RewritingError", "NoRewritingError",
-    "ProbabilityError", "LinearSystemError",
+    "UnsatisfiableIntersectionError", "UnknownViewError", "RewritingError",
+    "NoRewritingError", "ProbabilityError", "LinearSystemError",
     "as_probability", "as_fraction", "prob_str",
     "NumericBackend", "ExactBackend", "FastBackend", "BACKENDS", "get_backend",
     "Document", "DocNode", "doc", "node",
@@ -122,7 +127,7 @@ __all__ = [
     "contains", "equivalent", "minimize",
     "TPIntersection", "interleavings", "tpi_satisfiable",
     "tpi_equivalent_tp", "is_extended_skeleton",
-    "EvaluationEngine",
+    "EvaluationEngine", "QuerySession",
     "query_answer", "node_probability", "boolean_probability",
     "intersection_answer",
     "View", "probabilistic_extension", "deterministic_extension",

@@ -11,8 +11,18 @@ possible, trying in order:
    the cache is *strict*, e.g. when the base document is no longer
    available — the situation Definition 4 models).
 
-Every answer records which strategy produced it, so the cache doubles as an
-instrument for the cost experiments in ``benchmarks/``.
+The cache owns one :class:`repro.prob.session.QuerySession` over the base
+p-document for its whole lifetime: view materializations and direct
+evaluations share the session's cross-query subtree memo, and
+:meth:`RewritingCache.answer_many` evaluates a whole workload batch of
+direct-path queries in a single shared traversal.  Rewriting plans are
+built with the cache's numeric backend, so ``backend="fast"`` flows into
+the plans' numerators, denominators and α-pattern evaluations too.
+
+Every answer records which strategy produced it, and :meth:`RewritingCache.
+stats` exposes per-source hit counts plus the session counters, so the
+cache doubles as an instrument for the cost experiments in
+``benchmarks/``.
 """
 
 from __future__ import annotations
@@ -20,11 +30,11 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
-from .errors import NoRewritingError
+from .errors import NoRewritingError, UnknownViewError
 from .probability import BackendLike, get_backend
-from .prob.engine import query_answer
+from .prob.session import QuerySession
 from .pxml.pdocument import PDocument
 from .rewrite.multi_view import tpi_rewrite
 from .rewrite.single_view import probabilistic_tp_plan
@@ -65,10 +75,11 @@ class RewritingCache:
             raise :class:`NoRewritingError` instead of falling back to
             direct evaluation — extensions are then the *only* data source,
             exactly the access model of Definition 4.
-        backend: numeric backend (name or instance) used when the cache
-            evaluates probabilities itself — materializing extensions and
-            direct evaluation.  ``"exact"`` (default) keeps everything
-            bit-exact; ``"fast"`` trades exactness for float throughput.
+        backend: numeric backend (name or instance) used whenever the
+            cache evaluates probabilities — materializing extensions,
+            rewriting-plan probability functions, and direct evaluation.
+            ``"exact"`` (default) keeps everything bit-exact; ``"fast"``
+            trades exactness for float throughput.
     """
 
     def __init__(
@@ -81,18 +92,26 @@ class RewritingCache:
         self._build_source = p
         self.strict = strict
         self.backend = get_backend(backend)
+        self._session = QuerySession(p, backend=self.backend)
         self._views: dict[str, View] = {}
         self._extensions: dict[str, ProbabilisticViewExtension] = {}
+        self._source_counts: dict[AnswerSource, int] = {
+            source: 0 for source in AnswerSource
+        }
 
     # ------------------------------------------------------------------
     # View management
     # ------------------------------------------------------------------
     def materialize(self, view: View) -> ProbabilisticViewExtension:
-        """Evaluate the view over the base document and cache its extension."""
+        """Evaluate the view over the base document and cache its extension.
+
+        Runs through the cache's query session, so several
+        ``materialize`` calls share per-subtree evaluation work.
+        """
         if view.name in self._views:
             raise ValueError(f"view {view.name!r} is already materialized")
         extension = probabilistic_extension(
-            self._build_source, view, backend=self.backend
+            self._build_source, view, session=self._session
         )
         self._views[view.name] = view
         self._extensions[view.name] = extension
@@ -105,7 +124,20 @@ class RewritingCache:
         return self._extensions[name]
 
     def drop(self, name: str) -> None:
-        del self._views[name]
+        """Discard a materialized view and its extension.
+
+        Raises:
+            UnknownViewError: when no view of that name is materialized
+                (also a :class:`KeyError`, wrapping the underlying lookup
+                failure).
+        """
+        try:
+            del self._views[name]
+        except KeyError as exc:
+            raise UnknownViewError(
+                f"no materialized view named {name!r}; materialized views: "
+                f"{sorted(self._views) or '(none)'}"
+            ) from exc
         del self._extensions[name]
 
     # ------------------------------------------------------------------
@@ -117,23 +149,71 @@ class RewritingCache:
         Raises:
             NoRewritingError: in strict mode, when no rewriting exists.
         """
-        single = self._try_single_view(q)
-        if single is not None:
-            return single
-        multi = self._try_multi_view(q)
-        if multi is not None:
-            return multi
-        if self._p is None:
-            raise NoRewritingError(
-                f"no probabilistic rewriting of {q.xpath()} over "
-                f"{sorted(self._views)} and the cache is strict"
+        result = self._try_single_view(q)
+        if result is None:
+            result = self._try_multi_view(q)
+        if result is None:
+            if self._p is None:
+                raise NoRewritingError(
+                    f"no probabilistic rewriting of {q.xpath()} over "
+                    f"{sorted(self._views)} and the cache is strict"
+                )
+            result = CachedAnswer(
+                answer=self._session.answer(q),
+                source=AnswerSource.DIRECT,
+                plan_description="evaluated on the base p-document "
+                f"({self.backend.name} backend, session single-pass engine)",
             )
-        return CachedAnswer(
-            answer=query_answer(self._p, q, backend=self.backend),
-            source=AnswerSource.DIRECT,
-            plan_description="evaluated on the base p-document "
-            f"({self.backend.name} backend, single-pass engine)",
-        )
+        self._source_counts[result.source] += 1
+        return result
+
+    def answer_many(self, queries: Sequence[TreePattern]) -> list[CachedAnswer]:
+        """Answer a whole workload batch, in input order.
+
+        Queries that rewrite over the extensions are answered by their
+        plans; all remaining (direct-path) queries are evaluated together
+        in **one** shared session traversal of the base p-document with
+        cross-query subtree memoization.
+
+        Raises:
+            NoRewritingError: in strict mode, as soon as any query of the
+                batch admits no rewriting.
+        """
+        queries = list(queries)
+        results: list[Optional[CachedAnswer]] = [None] * len(queries)
+        direct_indices: list[int] = []
+        for index, q in enumerate(queries):
+            result = self._try_single_view(q)
+            if result is None:
+                result = self._try_multi_view(q)
+            if result is not None:
+                results[index] = result
+            elif self._p is None:
+                raise NoRewritingError(
+                    f"no probabilistic rewriting of {q.xpath()} over "
+                    f"{sorted(self._views)} and the cache is strict"
+                )
+            else:
+                direct_indices.append(index)
+        # Count sources only once the whole batch is known answerable, so a
+        # strict-mode raise above leaves the instrumentation untouched.
+        for result in results:
+            if result is not None:
+                self._source_counts[result.source] += 1
+        if direct_indices:
+            answers = self._session.answer_many(
+                [queries[index] for index in direct_indices]
+            )
+            for index, answer in zip(direct_indices, answers):
+                self._source_counts[AnswerSource.DIRECT] += 1
+                results[index] = CachedAnswer(
+                    answer=answer,
+                    source=AnswerSource.DIRECT,
+                    plan_description="batched direct evaluation "
+                    f"({self.backend.name} backend, "
+                    f"{len(direct_indices)} queries in one session pass)",
+                )
+        return results  # type: ignore[return-value]
 
     def answerable(self, q: TreePattern) -> bool:
         """Decision only: can ``q`` be answered from the extensions alone?"""
@@ -142,13 +222,37 @@ class RewritingCache:
         return self._try_multi_view(q, decide_only=True) is not None
 
     # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Per-source answer counts plus the session's cache counters.
+
+        Keys ``"SINGLE_VIEW"`` / ``"MULTI_VIEW"`` / ``"DIRECT"`` count the
+        answers produced by each strategy (decisions via ``answerable``
+        are not counted); ``"total"`` sums them; ``"session"`` is a
+        snapshot of :class:`repro.prob.session.SessionStats` for the
+        cache's base-document session.
+        """
+        counts = {
+            source.name: count for source, count in self._source_counts.items()
+        }
+        counts["total"] = sum(self._source_counts.values())
+        counts["session"] = self._session.stats.snapshot()
+        return counts
+
+    @property
+    def session(self) -> QuerySession:
+        """The cache-owned query session over the base p-document."""
+        return self._session
+
+    # ------------------------------------------------------------------
     # Strategies
     # ------------------------------------------------------------------
     def _try_single_view(
         self, q: TreePattern, decide_only: bool = False
     ) -> Optional[CachedAnswer]:
         for view in self._views.values():
-            plan = probabilistic_tp_plan(q, view)
+            plan = probabilistic_tp_plan(q, view, backend=self.backend)
             if plan is None:
                 continue
             if decide_only:
@@ -165,7 +269,12 @@ class RewritingCache:
     ) -> Optional[CachedAnswer]:
         if not self._views:
             return None
-        plan = tpi_rewrite(q, list(self._views.values()), self._extensions)
+        plan = tpi_rewrite(
+            q,
+            list(self._views.values()),
+            self._extensions,
+            backend=self.backend,
+        )
         if plan is None:
             return None
         if decide_only:

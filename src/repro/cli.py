@@ -4,6 +4,7 @@ Examples::
 
     python -m repro demo                       # reproduce paper examples
     python -m repro eval  doc.pxml "a/b[c]"    # probabilistic evaluation
+    python -m repro eval  doc.pxml "a/b" "a//c" --batch   # one shared pass
     python -m repro worlds doc.pxml            # enumerate possible worlds
     python -m repro rewrite doc.pxml "a/b[c]" --view "a/b" --view "a//b"
     python -m repro skeleton "a[b//c]/d//e"    # extended-skeleton check
@@ -20,6 +21,7 @@ from pathlib import Path
 
 from .probability import BACKENDS, prob_str
 from .prob.engine import query_answer
+from .prob.session import QuerySession
 from .pxml.serialize import pdocument_from_text, pdocument_to_text
 from .pxml.worlds import enumerate_worlds
 from .rewrite.single_view import probabilistic_tp_plan
@@ -37,13 +39,20 @@ def _load(path: str):
 
 def _cmd_eval(args: argparse.Namespace) -> int:
     p = _load(args.document)
-    q = parse_pattern(args.query)
-    answer = query_answer(p, q, backend=args.backend)
-    if not answer:
-        print("no answers with positive probability")
-        return 0
-    for node_id, probability in sorted(answer.items()):
-        print(f"node {node_id}\tPr = {prob_str(probability)}")
+    queries = [parse_pattern(text) for text in args.query]
+    if args.batch:
+        session = QuerySession(p, backend=args.backend)
+        answers = session.answer_many(queries)
+    else:
+        answers = [query_answer(p, q, backend=args.backend) for q in queries]
+    for text, answer in zip(args.query, answers):
+        if len(queries) > 1:
+            print(f"query {text}")
+        if not answer:
+            print("no answers with positive probability")
+            continue
+        for node_id, probability in sorted(answer.items()):
+            print(f"node {node_id}\tPr = {prob_str(probability)}")
     return 0
 
 
@@ -116,14 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_eval = sub.add_parser("eval", help="evaluate a TP query over a p-document")
+    p_eval = sub.add_parser(
+        "eval", help="evaluate TP queries over a p-document"
+    )
     p_eval.add_argument("document")
-    p_eval.add_argument("query")
+    p_eval.add_argument("query", nargs="+",
+                        help="one or more TP queries (XPath-style)")
     p_eval.add_argument(
         "--backend",
         choices=sorted(BACKENDS),
         default="exact",
         help="numeric backend: 'exact' Fractions (default) or 'fast' floats",
+    )
+    p_eval.add_argument(
+        "--batch",
+        action="store_true",
+        help="evaluate all queries in one shared session traversal with "
+        "cross-query subtree memoization (QuerySession.answer_many)",
     )
     p_eval.set_defaults(func=_cmd_eval)
 

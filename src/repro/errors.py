@@ -16,6 +16,7 @@ __all__ = [
     "CompensationError",
     "IntersectionError",
     "UnsatisfiableIntersectionError",
+    "UnknownViewError",
     "RewritingError",
     "NoRewritingError",
     "ProbabilityError",
@@ -57,6 +58,15 @@ class IntersectionError(ReproError):
 
 class UnsatisfiableIntersectionError(IntersectionError):
     """The TP∩ pattern has no satisfying document (no interleaving exists)."""
+
+
+class UnknownViewError(ReproError, KeyError):
+    """A view name does not refer to any materialized view of the cache.
+
+    Subclasses :class:`KeyError` as well, so dict-style ``except KeyError``
+    call sites keep working while library users can catch it as a
+    :class:`ReproError`.
+    """
 
 
 class RewritingError(ReproError):

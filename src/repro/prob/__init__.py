@@ -7,8 +7,12 @@ builds on — supports both TP and TP∩ queries plus node anchors, computes
 *all* candidate answers in one traversal, and is parameterized by a
 numeric backend (``exact`` Fractions or ``fast`` floats).  ``evaluator``
 keeps the historical ``ProbEvaluator`` surface as a shim over the engine.
-``bruteforce`` enumerates the px-space and is the reference semantics used
-by tests; ``approximate`` is the sampling estimator.
+``session`` is the workload layer on top of the engine: a
+:class:`QuerySession` evaluates *batches* of queries in one shared
+post-order pass with a cross-query memo of per-subtree distributions,
+invalidated by the p-document's mutation epoch.  ``bruteforce``
+enumerates the px-space and is the reference semantics used by tests;
+``approximate`` is the sampling estimator.
 """
 
 from .engine import (
@@ -22,6 +26,7 @@ from .engine import (
     intersection_node_probability,
 )
 from .evaluator import ProbEvaluator
+from .session import QuerySession, SessionStats
 from .bruteforce import (
     brute_force_query_answer,
     brute_force_node_probability,
@@ -32,6 +37,8 @@ __all__ = [
     "EvaluationEngine",
     "normalize_anchors",
     "ProbEvaluator",
+    "QuerySession",
+    "SessionStats",
     "query_answer",
     "boolean_probability",
     "node_probability",

@@ -42,6 +42,13 @@ Complexity: ``O(|P̂| · s²)`` shared work plus ``O(depth(n) · s²)`` per
 candidate ``n`` for the path recombinations — versus ``O(|answer| · |P̂| ·
 s²)`` for the per-candidate loop, where ``s`` bounds the number of
 distinct goal sets.
+
+The engine is also the building block of the *workload session* layer
+(:mod:`repro.prob.session`): :class:`QuerySession` drives one shared
+post-order traversal for a whole batch of queries, calling back into
+:meth:`EvaluationEngine.combine_pinned` / :meth:`combine_unpinned` per
+query and per p-document node, and reuses per-subtree distributions
+across queries through :meth:`goal_table_fingerprint`.
 """
 
 from __future__ import annotations
@@ -218,6 +225,7 @@ class EvaluationEngine:
                 (d_bit, a_bit, need, self.anchors.get(id(u)), id(u) in out_ids)
             )
         self._a_mask = a_mask
+        self._table_labels = frozenset(self._by_label)
         self._targets = 0
         for pattern in self.patterns:
             self._targets |= 1 << (2 * self._goal_index[id(pattern.root)])
@@ -232,6 +240,94 @@ class EvaluationEngine:
         return 2 * self._goal_index[id(u)] + 1
 
     # ------------------------------------------------------------------
+    # Batch-evaluation surface (used by repro.prob.session)
+    # ------------------------------------------------------------------
+    def pattern_target(self, pattern: TreePattern) -> int:
+        """The root ``D``-goal bitmask of one evaluated pattern.
+
+        A goal-set distribution's mass over this target (see :meth:`mass`)
+        is ``Pr(pattern matches)`` — the per-query marginal when several
+        queries are evaluated in one session pass.
+        """
+        index = self._goal_index.get(id(pattern.root))
+        if index is None:
+            raise PatternError(
+                f"{pattern!r} is not one of this engine's evaluated patterns"
+            )
+        return 1 << (2 * index)
+
+    def mass(self, distribution: Distribution, targets: Optional[int] = None):
+        """Total probability of goal sets covering ``targets``.
+
+        ``targets`` defaults to the joint root ``D``-goals of all evaluated
+        patterns (the TP∩ semantics of :meth:`match_probability`).
+        """
+        if targets is None:
+            targets = self._targets
+        total = self._zero
+        for mask, probability in distribution.items():
+            if mask & targets == targets:
+                total = total + probability
+        return total
+
+    def goal_table_fingerprint(
+        self, labels: frozenset
+    ) -> tuple[tuple, bool]:
+        """Canonical form of the goal table restricted to ``labels``.
+
+        Two engines whose fingerprints agree on a p-subtree's label set
+        compute bit-identical distributions on that subtree: every combine
+        step depends only on the subtree's structure and on the table
+        entries of labels occurring in it (``need`` masks referencing
+        absent-label goals can never be satisfied below, and absent goals'
+        bits never enter the masks, so the surrounding table is inert).
+        This is the cross-query memo key of :class:`repro.prob.session.
+        QuerySession`.
+
+        Returns ``(fingerprint, out_sensitive)`` — ``out_sensitive`` is
+        true when the restriction contains an output-node entry, i.e. when
+        the blocked (``_GRANT_NONE``) and unpinned (``_GRANT_ALL``)
+        evaluations of the subtree may differ.
+        """
+        items = []
+        out_sensitive = False
+        for label in sorted(self._table_labels & labels):
+            entries = tuple(self._by_label[label])
+            if not out_sensitive and any(entry[4] for entry in entries):
+                out_sensitive = True
+            items.append((label, entries))
+        return tuple(items), out_sensitive
+
+    @property
+    def table_labels(self) -> frozenset:
+        """The labels carrying goal-table entries (fingerprint support)."""
+        return self._table_labels
+
+    def combine_pinned(
+        self, node: PNode, entries: Mapping, candidate_set: frozenset
+    ) -> tuple[Distribution, dict]:
+        """One pinned-DP combine step: ``(blocked, pinned)`` for ``node``.
+
+        ``entries`` maps each child's ``node_id`` to its own
+        ``(blocked, pinned)`` pair.  Counts one node visit.
+        """
+        self.visits += 1
+        if node.kind is PNodeKind.ORDINARY:
+            return self._combine_ordinary_pinned(node, entries, candidate_set)
+        if node.kind is PNodeKind.MUX:
+            return self._combine_mux_pinned(node, entries)
+        return self._combine_ind_pinned(node, entries)
+
+    def combine_unpinned(self, node: PNode, entries: Mapping) -> Distribution:
+        """One unpinned-DP combine step (anchored / Boolean evaluation).
+
+        ``entries`` maps each child's ``node_id`` to its distribution.
+        Counts one node visit.
+        """
+        self.visits += 1
+        return self._combine_single(node, entries)
+
+    # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def match_probability(self):
@@ -239,8 +335,7 @@ class EvaluationEngine:
 
         One unpinned DP traversal; returns a backend value.
         """
-        distribution = self._single_pass()
-        return self._mass_with_targets(distribution)
+        return self.mass(self._single_pass())
 
     def candidate_ids(self) -> set[int]:
         """Node Ids that *some* world may select for every pattern jointly.
@@ -277,7 +372,7 @@ class EvaluationEngine:
             distribution = pinned.get(node_id)
             if distribution is None:
                 continue
-            probability = self._mass_with_targets(distribution)
+            probability = self.mass(distribution)
             if probability > zero:
                 answer[node_id] = probability
         return answer
@@ -287,15 +382,8 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # Distributions are immutable by convention: every operation below
     # builds a fresh dict or returns an existing one unmodified, so they
-    # may be shared freely between memo entries.
-    def _mass_with_targets(self, distribution: Distribution):
-        targets = self._targets
-        total = self._zero
-        for mask, probability in distribution.items():
-            if mask & targets == targets:
-                total = total + probability
-        return total
-
+    # may be shared freely between memo entries (including the cross-query
+    # subtree memo of repro.prob.session).
     def _unit(self) -> Distribution:
         return {0: self._one}
 
@@ -383,8 +471,7 @@ class EvaluationEngine:
                 for child in node.children:
                     stack.append((child, False))
                 continue
-            self.visits += 1
-            memo[node.node_id] = self._combine_single(node, memo)
+            memo[node.node_id] = self.combine_unpinned(node, memo)
             for child in node.children:
                 del memo[child.node_id]
         return memo[self.p.root.node_id]
@@ -453,14 +540,7 @@ class EvaluationEngine:
                 for child in node.children:
                     stack.append((child, False))
                 continue
-            self.visits += 1
-            if node.kind is PNodeKind.ORDINARY:
-                entry = self._combine_ordinary_pinned(node, memo, candidate_set)
-            elif node.kind is PNodeKind.MUX:
-                entry = self._combine_mux_pinned(node, memo)
-            else:
-                entry = self._combine_ind_pinned(node, memo)
-            memo[node.node_id] = entry
+            memo[node.node_id] = self.combine_pinned(node, memo, candidate_set)
             for child in node.children:
                 del memo[child.node_id]
         return memo[self.p.root.node_id]

@@ -1,0 +1,516 @@
+"""Workload sessions: batched multi-query evaluation with cross-query
+subtree memoization.
+
+Real view-cache workloads ask *many* TP queries against the same
+p-document — exactly the regime where the goal-set DP's per-subtree work
+is shared across queries (compare the treelike-instance lineage reuse of
+Amarilli et al. and the combined-complexity analysis of
+Amarilli–Monet–Senellart on probabilistic graphs).  A
+:class:`QuerySession` exploits that in three ways:
+
+**One post-order pass per batch.**  :meth:`QuerySession.answer_many`
+walks the p-document once for the whole batch.  Each query owns its own
+goal-bit range in the joint goal table (a private
+:class:`~repro.prob.engine.EvaluationEngine` numbering); the session
+calls every query's blocked/pinned combine step per p-document node, so
+the traversal (stack management, node dispatch, per-node bookkeeping) is
+paid once regardless of the batch size.  Distributions are kept as
+*per-query projections* of the joint mask space — ranges are disjoint,
+so projections lose nothing, and the supports of independent queries add
+instead of multiplying (a literal joint distribution over ``k``
+independent queries' goals has support ``∏ sᵢ``; the projections have
+``Σ sᵢ``).
+
+**Cross-query subtree memoization.**  Per-subtree *blocked* distributions
+(the candidate-free evaluations of the single-pass answer DP) are cached
+under ``(PNode.node_id, goal-table fingerprint)``, where the fingerprint
+is the query's goal table restricted to the labels occurring in the
+subtree (:meth:`EvaluationEngine.goal_table_fingerprint`).  Restriction
+makes the key *semantic*: two structurally identical queries that differ
+only in labels absent from a subtree fingerprint equally there and share
+one evaluation — in a batch of per-project queries, a person subtree
+holding ``project3`` is evaluated once for ``project3``'s query and once
+for all the others together.  The memo persists across
+``answer_many``/``answer`` calls of the same session, so repeated
+workloads skip every subtree that holds no candidate.
+
+**Mutation epochs.**  The memo is invalidated automatically when
+:attr:`repro.pxml.pdocument.PDocument.mutation_epoch` changes (code that
+mutates a p-document in place calls ``mark_mutated()``), and manually via
+:meth:`QuerySession.invalidate`.
+
+The session also backs the rewrite layer: plans route their numerator /
+denominator / α-pattern evaluations through
+:meth:`QuerySession.boolean_many`, which batches anchored Boolean
+(TP / TP∩) probabilities through the same shared pass and memo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..probability import BackendLike, NumericBackend, get_backend
+from ..pxml.pdocument import PDocument, PNode
+from ..tp.embedding import evaluate as evaluate_deterministic
+from ..tp.pattern import TreePattern
+from .engine import AnchorsLike, EvaluationEngine
+
+__all__ = ["QuerySession", "SessionStats", "BooleanItem"]
+
+#: One item of a Boolean batch: a pattern, or ``(patterns, anchors)`` for
+#: anchored / TP∩ probabilities (``patterns`` may be a single pattern).
+BooleanItem = Union[
+    TreePattern,
+    tuple,
+]
+
+# Gate tags for the memo: blocked (output D-goals suppressed) vs unpinned
+# (output D-goals granted).  A subtree whose label set contains no output
+# label is gate-insensitive and shares one entry (tag None).
+_BLOCKED = "blocked"
+_UNPINNED = "unpinned"
+
+
+@dataclass
+class SessionStats:
+    """Cumulative instrumentation of one session.
+
+    Attributes:
+        traversals: shared post-order passes performed (one per batch).
+        queries: queries / Boolean items evaluated through the session.
+        node_visits: p-document nodes touched by the shared passes; a cold
+            ``answer_many`` touches each node exactly once no matter how
+            many queries the batch holds.
+        memo_hits: per-query subtree evaluations answered from the
+            cross-query memo.
+        memo_misses: per-query subtree evaluations computed and stored.
+        neutral_skips: per-query subtree evaluations short-circuited to
+            the unit distribution because the subtree holds no goal-table
+            label (no memo involved).
+        subtree_skips: whole subtrees skipped without traversal because
+            every query of the batch was neutral or hit the memo at their
+            root.
+        invalidations: memo resets (mutation epochs and manual calls).
+    """
+
+    traversals: int = 0
+    queries: int = 0
+    node_visits: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    neutral_skips: int = 0
+    subtree_skips: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> dict:
+        return dict(self.__dict__)
+
+
+class QuerySession:
+    """A batched-evaluation session over one p-document.
+
+    Args:
+        p: the p-document all queries are evaluated against.
+        backend: numeric backend name or instance (default ``"exact"``).
+        memoize: keep the cross-query subtree memo (default true).
+        memo_limit: entry cap of the memo; reaching it clears the memo
+            (coarse, but bounds memory on unbounded workloads).
+
+    Attributes:
+        stats: cumulative :class:`SessionStats`.
+    """
+
+    def __init__(
+        self,
+        p: PDocument,
+        backend: BackendLike = "exact",
+        memoize: bool = True,
+        memo_limit: int = 1 << 18,
+    ) -> None:
+        self.p = p
+        self.backend: NumericBackend = get_backend(backend)
+        self.memoize = memoize
+        self.memo_limit = memo_limit
+        self.stats = SessionStats()
+        self._memo: dict = {}
+        self._table_ids: dict[tuple, int] = {}
+        self._epoch = getattr(p, "mutation_epoch", 0)
+        self._labels_below: Optional[dict[int, frozenset]] = None
+        self._world = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def answer_many(self, queries: Sequence[TreePattern]) -> list[dict]:
+        """``[q(P̂) for q in queries]`` from one shared post-order pass.
+
+        Per-query candidates are read off the shared maximal world; all
+        queries' blocked/pinned distributions are then carried through a
+        single traversal of the p-document, consulting and filling the
+        cross-query subtree memo.  Equals per-query
+        :meth:`EvaluationEngine.answer` exactly (``exact`` backend) /
+        within floating-point error (``fast``).
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        self._refresh()
+        engines = [
+            EvaluationEngine(self.p, [q], backend=self.backend) for q in queries
+        ]
+        world = self._max_world()
+        candidate_sets = [
+            frozenset(evaluate_deterministic(q, world)) for q in queries
+        ]
+        live_sets = [self._live_ancestors(cs) for cs in candidate_sets]
+        pinned_maps = self._pinned_batch_pass(engines, candidate_sets, live_sets)
+        zero = self.backend.zero
+        answers: list[dict] = []
+        for engine, query, candidates, pinned in zip(
+            engines, queries, candidate_sets, pinned_maps
+        ):
+            target = engine.pattern_target(query)
+            answer: dict = {}
+            for node_id in sorted(candidates):
+                distribution = pinned.get(node_id)
+                if distribution is None:
+                    continue
+                probability = engine.mass(distribution, target)
+                if probability > zero:
+                    answer[node_id] = probability
+            answers.append(answer)
+        self.stats.queries += len(queries)
+        return answers
+
+    def answer(self, q: TreePattern) -> dict:
+        """``q(P̂)`` — one query, still through the session memo."""
+        return self.answer_many([q])[0]
+
+    def boolean_many(self, items: Sequence[BooleanItem]) -> list:
+        """Batched Boolean probabilities from one shared pass.
+
+        Each item is a pattern, or ``(patterns, anchors)`` where
+        ``patterns`` is a pattern or a sequence of patterns (evaluated
+        jointly, TP∩ semantics) and ``anchors`` an optional
+        :data:`~repro.prob.engine.AnchorsLike` mapping.  Returns one
+        backend probability per item.
+        """
+        normalized: list[tuple[list[TreePattern], Optional[AnchorsLike]]] = []
+        for item in items:
+            if isinstance(item, TreePattern):
+                normalized.append(([item], None))
+                continue
+            patterns, anchors = item
+            if isinstance(patterns, TreePattern):
+                patterns = [patterns]
+            normalized.append((list(patterns), anchors))
+        if not normalized:
+            return []
+        self._refresh()
+        engines = [
+            EvaluationEngine(self.p, patterns, anchors, self.backend)
+            for patterns, anchors in normalized
+        ]
+        distributions = self._unpinned_batch_pass(engines)
+        self.stats.queries += len(engines)
+        return [
+            engine.mass(distribution)
+            for engine, distribution in zip(engines, distributions)
+        ]
+
+    def boolean_probability(
+        self, q: TreePattern, anchors: Optional[AnchorsLike] = None
+    ):
+        """``Pr(q matches P)``, optionally anchored."""
+        return self.boolean_many([(q, anchors)])[0]
+
+    def node_probability(self, q: TreePattern, node_id: int):
+        """``Pr(n ∈ q(P))`` for one node (anchored Boolean run)."""
+        return self.boolean_probability(q, {q.out: node_id})
+
+    def invalidate(self) -> None:
+        """Drop every cached per-subtree distribution (and derived maps)."""
+        self._memo.clear()
+        self._table_ids.clear()
+        self._labels_below = None
+        self._world = None
+        self.stats.invalidations += 1
+
+    @property
+    def memo_size(self) -> int:
+        return len(self._memo)
+
+    # ------------------------------------------------------------------
+    # Shared-pass machinery
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        epoch = getattr(self.p, "mutation_epoch", 0)
+        if epoch != self._epoch:
+            self._epoch = epoch
+            self.invalidate()
+        elif len(self._table_ids) >= self.memo_limit:
+            # Anchored workloads mint a fresh fingerprint per anchor value;
+            # bound the interning table alongside the memo.  Only safe
+            # between passes — mid-pass fp caches hold interned ids.
+            self.invalidate()
+
+    def _max_world(self):
+        if self._world is None:
+            self._world = self.p.max_world()
+        return self._world
+
+    def _label_sets(self) -> dict[int, frozenset]:
+        """``node_id -> frozenset(ordinary labels in the subtree)``."""
+        if self._labels_below is None:
+            interned: dict[frozenset, frozenset] = {}
+            sets: dict[int, frozenset] = {}
+            stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+            while stack:
+                node, expanded = stack.pop()
+                if not expanded:
+                    stack.append((node, True))
+                    stack.extend((child, False) for child in node.children)
+                    continue
+                accumulated: set = set()
+                if node.label is not None:
+                    accumulated.add(node.label)
+                for child in node.children:
+                    accumulated |= sets[child.node_id]
+                frozen = frozenset(accumulated)
+                sets[node.node_id] = interned.setdefault(frozen, frozen)
+            self._labels_below = sets
+        return self._labels_below
+
+    def _live_ancestors(self, candidates: frozenset) -> frozenset:
+        """Node Ids whose subtree contains a candidate (ancestor closure)."""
+        live: set[int] = set()
+        for node_id in candidates:
+            node: Optional[PNode] = self.p.node(node_id)
+            while node is not None and node.node_id not in live:
+                live.add(node.node_id)
+                node = node.parent
+        return frozenset(live)
+
+    def _memo_key(
+        self,
+        engine: EvaluationEngine,
+        fp_cache: dict,
+        node_id: int,
+        labels: dict[int, frozenset],
+        gate: str,
+    ) -> tuple:
+        """``(node_id, goal-table fingerprint id, effective gate)``.
+
+        The fingerprint is interned to a small integer per session so memo
+        keys hash cheaply; gate-insensitive subtrees (no output label
+        below) share one entry across blocked and unpinned evaluations.
+        The fingerprint cache is keyed by the *relevant* label set — the
+        subtree's labels restricted to the engine's goal-table support —
+        which repeats across structurally similar subtrees even when their
+        full label sets differ.
+        """
+        relevant = engine.table_labels & labels[node_id]
+        cached = fp_cache.get(relevant)
+        if cached is None:
+            table, out_sensitive = engine.goal_table_fingerprint(relevant)
+            table_id = self._table_ids.setdefault(table, len(self._table_ids))
+            cached = (table_id, out_sensitive)
+            fp_cache[relevant] = cached
+        table_id, out_sensitive = cached
+        return (node_id, table_id, gate if out_sensitive else None)
+
+    def _memo_store(self, key: tuple, distribution: dict) -> None:
+        if len(self._memo) >= self.memo_limit:
+            self._memo.clear()
+            self.stats.invalidations += 1
+        self._memo[key] = distribution
+
+    def _pinned_batch_pass(
+        self,
+        engines: list[EvaluationEngine],
+        candidate_sets: list[frozenset],
+        live_sets: list[frozenset],
+    ) -> list[dict]:
+        """One shared post-order pass computing every query's pinned map.
+
+        Per query and node the pass either short-circuits a *neutral*
+        subtree (no goal-table label below ⇒ the distribution is the unit
+        ``{∅: 1}``), reuses a memoized blocked distribution (counted as a
+        hit), or calls the query's
+        :meth:`EvaluationEngine.combine_pinned`.  When *every* query of
+        the batch is neutral or hits the memo at a subtree root, the
+        subtree is not traversed at all.
+        """
+        memo = self._memo if self.memoize else None
+        labels = self._label_sets()
+        unit = {0: self.backend.one}
+        count = len(engines)
+        indices = range(count)
+        table_labels = [engine.table_labels for engine in engines]
+        combines = [engine.combine_pinned for engine in engines]
+        fp_caches: list[dict] = [{} for _ in indices]
+        entries: list[dict] = [{} for _ in indices]
+        stats = self.stats
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            node_id = node.node_id
+            if not expanded:
+                label_set = labels[node_id]
+                neutral = 0
+                cached_all: Optional[list] = []
+                for i in indices:
+                    if node_id in live_sets[i]:
+                        cached_all = None
+                        break
+                    if not (table_labels[i] & label_set):
+                        cached_all.append(unit)
+                        neutral += 1
+                        continue
+                    if memo is None:
+                        cached_all = None
+                        break
+                    key = self._memo_key(
+                        engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                    )
+                    cached = memo.get(key)
+                    if cached is None:
+                        cached_all = None
+                        break
+                    cached_all.append(cached)
+                if cached_all is not None:
+                    for i in indices:
+                        entries[i][node_id] = (cached_all[i], {})
+                    stats.memo_hits += count - neutral
+                    stats.neutral_skips += neutral
+                    stats.subtree_skips += 1
+                    continue
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            stats.node_visits += 1
+            label_set = labels[node_id]
+            children = node.children
+            for i in indices:
+                entry_map = entries[i]
+                if node_id not in live_sets[i]:
+                    if not (table_labels[i] & label_set):
+                        entry_map[node_id] = (unit, {})
+                        stats.neutral_skips += 1
+                    elif memo is not None:
+                        key = self._memo_key(
+                            engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                        )
+                        blocked = memo.get(key)
+                        if blocked is not None:
+                            entry_map[node_id] = (blocked, {})
+                            stats.memo_hits += 1
+                        else:
+                            blocked, _ = combines[i](
+                                node, entry_map, candidate_sets[i]
+                            )
+                            entry_map[node_id] = (blocked, {})
+                            self._memo_store(key, blocked)
+                            stats.memo_misses += 1
+                    else:
+                        entry_map[node_id] = (
+                            combines[i](node, entry_map, candidate_sets[i])[0],
+                            {},
+                        )
+                else:
+                    entry = combines[i](node, entry_map, candidate_sets[i])
+                    entry_map[node_id] = entry
+                    if memo is not None:
+                        key = self._memo_key(
+                            engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                        )
+                        self._memo_store(key, entry[0])
+                for child in children:
+                    entry_map.pop(child.node_id, None)
+        stats.traversals += 1
+        root_id = self.p.root.node_id
+        return [entries[i].pop(root_id)[1] for i in indices]
+
+    def _unpinned_batch_pass(
+        self, engines: list[EvaluationEngine]
+    ) -> list[dict]:
+        """Shared pass for Boolean batches (unpinned distributions).
+
+        Same structure as :meth:`_pinned_batch_pass` — neutral-subtree
+        short-circuit, memo consult/fill, subtree skips — without the
+        pinned (per-candidate) machinery.
+        """
+        memo = self._memo if self.memoize else None
+        labels = self._label_sets()
+        unit = {0: self.backend.one}
+        count = len(engines)
+        indices = range(count)
+        fp_caches: list[dict] = [{} for _ in indices]
+        entries: list[dict] = [{} for _ in indices]
+        stats = self.stats
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            node_id = node.node_id
+            if not expanded:
+                label_set = labels[node_id]
+                neutral = 0
+                cached_all: Optional[list] = []
+                for i in indices:
+                    if not (engines[i].table_labels & label_set):
+                        cached_all.append(unit)
+                        neutral += 1
+                        continue
+                    if memo is None:
+                        cached_all = None
+                        break
+                    key = self._memo_key(
+                        engines[i], fp_caches[i], node_id, labels, _UNPINNED
+                    )
+                    cached = memo.get(key)
+                    if cached is None:
+                        cached_all = None
+                        break
+                    cached_all.append(cached)
+                if cached_all is not None:
+                    for i in indices:
+                        entries[i][node_id] = cached_all[i]
+                    stats.memo_hits += count - neutral
+                    stats.neutral_skips += neutral
+                    stats.subtree_skips += 1
+                    continue
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            stats.node_visits += 1
+            label_set = labels[node_id]
+            for i in indices:
+                entry_map = entries[i]
+                if not (engines[i].table_labels & label_set):
+                    entry_map[node_id] = unit
+                    stats.neutral_skips += 1
+                elif memo is not None:
+                    key = self._memo_key(
+                        engines[i], fp_caches[i], node_id, labels, _UNPINNED
+                    )
+                    distribution = memo.get(key)
+                    if distribution is not None:
+                        entry_map[node_id] = distribution
+                        stats.memo_hits += 1
+                    else:
+                        distribution = engines[i].combine_unpinned(
+                            node, entry_map
+                        )
+                        entry_map[node_id] = distribution
+                        self._memo_store(key, distribution)
+                        stats.memo_misses += 1
+                else:
+                    entry_map[node_id] = engines[i].combine_unpinned(
+                        node, entry_map
+                    )
+                for child in node.children:
+                    entry_map.pop(child.node_id, None)
+        stats.traversals += 1
+        root_id = self.p.root.node_id
+        return [entries[i].pop(root_id) for i in indices]

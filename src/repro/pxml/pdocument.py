@@ -109,6 +109,7 @@ class PDocument:
     def __init__(self, root: PNode) -> None:
         self.root = root
         self._index: dict[int, PNode] = {}
+        self._mutation_epoch = 0
         for n in root.iter_subtree():
             if n.node_id in self._index:
                 raise PDocumentError(f"duplicate node Id {n.node_id}")
@@ -140,6 +141,25 @@ class PDocument:
                 raise PDocumentError(
                     f"mux node {n.node_id}: child probabilities sum to {total} > 1"
                 )
+
+    # ------------------------------------------------------------------
+    # Mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of structural mutations.
+
+        Session-level caches (:class:`repro.prob.session.QuerySession`)
+        snapshot this value and drop their per-subtree memo entries when it
+        changes.  Code that mutates an already-constructed p-document
+        in place (re-attaching nodes, changing probabilities) must call
+        :meth:`mark_mutated` afterwards.
+        """
+        return self._mutation_epoch
+
+    def mark_mutated(self) -> None:
+        """Record an in-place structural mutation (bumps the epoch)."""
+        self._mutation_epoch += 1
 
     # ------------------------------------------------------------------
     # Accessors

@@ -40,7 +40,8 @@ import itertools
 import random
 from typing import Iterator, Optional, Sequence
 
-from ..prob.evaluator import node_probability, intersection_node_probability
+from ..probability import BackendLike, get_backend
+from ..prob.session import QuerySession
 from ..pxml.builder import ind, mux, ordinary, pdoc
 from ..pxml.pdocument import PDocument
 from ..tp.pattern import Axis, PatternNode, TreePattern
@@ -238,16 +239,21 @@ def c_independent_empirical(
     trials: int = 40,
     seed: int = 0,
     max_depth: int = 4,
+    backend: BackendLike = "exact",
+    tolerance: float = 1e-9,
 ) -> bool:
     """Monte-Carlo check of the *semantic* definition of c-independence.
 
     Random small p-documents are generated over the two queries' label
     alphabet; for each ordinary node the defining equation is verified
-    *exactly* (all probabilities are computed by the exact evaluator).
-    Returns ``False`` as soon as a counterexample p-document is found.
+    through a batched query session in the chosen backend — *exactly* on
+    ``"exact"`` (the default), within ``tolerance`` on approximate
+    backends such as ``"fast"``.  Returns ``False`` as soon as a
+    counterexample p-document is found.
 
     A ``True`` result is evidence, not proof — the sampler may miss a
-    counterexample; a ``False`` result is definitive.
+    counterexample; a ``False`` result is definitive (on the exact
+    backend).
     """
     rng = random.Random(seed)
     labels = sorted(
@@ -256,20 +262,38 @@ def c_independent_empirical(
     root_label = q1.root_label()
     for _ in range(trials):
         p = _random_pdocument(rng, labels, root_label, max_depth)
-        if not _definition_holds(p, q1, q2):
+        if not _definition_holds(p, q1, q2, backend, tolerance):
             return False
     return True
 
 
-def _definition_holds(p: PDocument, q1: TreePattern, q2: TreePattern) -> bool:
+def _definition_holds(
+    p: PDocument,
+    q1: TreePattern,
+    q2: TreePattern,
+    backend: BackendLike = "exact",
+    tolerance: float = 1e-9,
+) -> bool:
+    resolved = get_backend(backend)
+    session = QuerySession(p, backend=resolved)
     for n in p.ordinary_nodes():
         appearance = p.appearance_probability(n.node_id)
         if appearance == 0:
             continue
-        joint = intersection_node_probability(p, [q1, q2], n.node_id)
-        p1 = node_probability(p, q1, n.node_id)
-        p2 = node_probability(p, q2, n.node_id)
-        if joint * appearance != p1 * p2:
+        # The three probabilities of the defining equation, one shared pass.
+        joint, p1, p2 = session.boolean_many(
+            [
+                ([q1, q2], {q1.out: n.node_id, q2.out: n.node_id}),
+                (q1, {q1.out: n.node_id}),
+                (q2, {q2.out: n.node_id}),
+            ]
+        )
+        lhs = joint * resolved.convert(appearance)
+        rhs = p1 * p2
+        if resolved.name == "exact":
+            if lhs != rhs:
+                return False
+        elif abs(lhs - rhs) > tolerance:
             return False
     return True
 

@@ -24,7 +24,7 @@ from fractions import Fraction
 from typing import Mapping, Optional, Sequence
 
 from ..errors import RewritingError
-from ..probability import ONE, ZERO
+from ..probability import BackendLike, get_backend
 from ..tp import ops
 from ..tp.containment import contains
 from ..tp.pattern import TreePattern
@@ -91,6 +91,7 @@ def theorem3_plan(
     members: Sequence[View | Theorem3Member],
     extensions: Extensions,
     check_equivalence: bool = True,
+    backend: BackendLike = "exact",
 ) -> Optional[TPIRewritePlan]:
     """Build Theorem 3's probabilistic TP∩-rewriting, if its conditions hold.
 
@@ -120,14 +121,16 @@ def theorem3_plan(
         return None  # not a deterministic rewriting
     oracles = {}
     for member in normalized:
-        oracle = _theorem3_oracle(member, q, extensions)
+        oracle = _theorem3_oracle(member, q, extensions, backend)
         if oracle is None:
             return None  # compensated member fails §4's conditions
         oracles[member.name] = oracle
     exponents = {member.name: Fraction(1) for member in normalized}
     names = [member.name for member in normalized]
     if len(normalized) > 1:
-        oracles[_APPEARANCE_TAG] = _selection_oracle(extensions[anchor.base.name])
+        oracles[_APPEARANCE_TAG] = _selection_oracle(
+            extensions[anchor.base.name], backend
+        )
         exponents[_APPEARANCE_TAG] = Fraction(1 - len(normalized))
         names.append(_APPEARANCE_TAG)
 
@@ -145,28 +148,36 @@ def theorem3_plan(
         exponents=exponents,
         candidate_source=candidates,
         description=f"Theorem 3 plan over {', '.join(m.name for m in normalized)}",
+        backend=backend,
     )
 
 
 def _theorem3_oracle(
-    member: Theorem3Member, q: TreePattern, extensions: Extensions
+    member: Theorem3Member,
+    q: TreePattern,
+    extensions: Extensions,
+    backend: BackendLike,
 ):
     extension = extensions[member.base.name]
     if member.compensation_depth is None:
-        return _selection_oracle(extension)
-    plan = probabilistic_tp_plan(member.unfolded(q), member.base)
+        return _selection_oracle(extension, backend)
+    plan = probabilistic_tp_plan(member.unfolded(q), member.base, backend=backend)
     if plan is None:
         return None
 
-    def oracle(node_id: int) -> Fraction:
+    def oracle(node_id: int):
         return plan.fr(extension, node_id)
 
     return oracle
 
 
-def _selection_oracle(extension: ProbabilisticViewExtension):
-    def oracle(node_id: int) -> Fraction:
-        return extension.selection.get(node_id, ZERO)
+def _selection_oracle(
+    extension: ProbabilisticViewExtension, backend: BackendLike = "exact"
+):
+    zero = get_backend(backend).zero
+
+    def oracle(node_id: int):
+        return extension.selection.get(node_id, zero)
 
     return oracle
 
@@ -262,12 +273,15 @@ def tpi_rewrite(
     views: Sequence[View],
     extensions: Extensions,
     interleaving_limit: Optional[int] = None,
+    backend: BackendLike = "exact",
 ) -> Optional[TPIRewritePlan]:
     """``TPIrewrite`` (Figure 7): the canonical probabilistic TP∩-rewriting.
 
     Returns ``None`` when either the canonical deterministic plan is not a
     rewriting of ``q`` or the ``S(q, V″)`` system does not determine
-    ``Pr(n ∈ q(P))``.
+    ``Pr(n ∈ q(P))``.  ``backend`` parameterizes the numeric domain of the
+    returned plan's ``f_r`` and of its member oracles (compensated members
+    route their §4 evaluations through per-extension query sessions).
     """
     members = canonical_plan_views(q, views)
     if not members:
@@ -285,7 +299,7 @@ def tpi_rewrite(
         return None
     oracles = {}
     for member in computable:
-        oracles[member.tag] = _member_oracle(member, extensions)
+        oracles[member.tag] = _member_oracle(member, extensions, backend)
     exponents = {tag: coefficient for tag, coefficient in certificate.items()}
 
     def candidates() -> list[int]:
@@ -305,19 +319,22 @@ def tpi_rewrite(
             "TPIrewrite canonical plan over "
             + ", ".join(m.tag for m in members)
         ),
+        backend=backend,
     )
 
 
-def _member_oracle(member: _PlanMember, extensions: Extensions):
+def _member_oracle(
+    member: _PlanMember, extensions: Extensions, backend: BackendLike = "exact"
+):
     """``Pr(n ∈ u_i(P))`` from the member's base-view extension only."""
     extension = extensions[member.base.name]
     if member.compensation_depth is None:
-        return _selection_oracle(extension)
-    plan = probabilistic_tp_plan(member.unfolded, member.base)
+        return _selection_oracle(extension, backend)
+    plan = probabilistic_tp_plan(member.unfolded, member.base, backend=backend)
     if plan is None:  # pragma: no cover - guarded by membership in V″
         raise RewritingError(f"member {member.tag} is not probability-computable")
 
-    def oracle(node_id: int) -> Fraction:
+    def oracle(node_id: int):
         return plan.fr(extension, node_id)
 
     return oracle

@@ -12,6 +12,14 @@ rewriting.  Two plan shapes exist:
   a product of per-view result probabilities raised to exact rational
   exponents; Theorem 3's formula and the solutions of the ``S(q, V)``
   linear system (Theorem 5) are both instances.
+
+Both plan shapes carry a caller-chosen numeric ``backend`` (``"exact"``
+Fractions by default, ``"fast"`` floats for throughput) and route their
+inner evaluations — Theorem 1's numerators and denominators, Theorem 2's
+α-pattern conjunctions — through a :class:`repro.prob.session.QuerySession`
+over the extension p-document, so that a whole `evaluate()` call shares
+one cross-query subtree memo instead of spawning a fresh exact evaluator
+per candidate node.
 """
 
 from __future__ import annotations
@@ -19,18 +27,21 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional, Sequence, Union
 
 from ..errors import RewritingError
-from ..probability import ONE, ZERO
-from ..prob.evaluator import ProbEvaluator, boolean_probability
+from ..probability import BackendLike, ZERO, as_fraction, get_backend
+from ..prob.engine import boolean_probability
+from ..prob.session import QuerySession
 from ..tp import ops
-from ..tp.pattern import TreePattern
+from ..tp.embedding import evaluate as evaluate_deterministic
+from ..tp.pattern import Axis, PatternNode, TreePattern
 from ..views.extension import (
     ProbabilisticViewExtension,
     anchor_via_marker,
 )
-from ..views.view import View
+from ..views.view import View, parse_marker_label
+from .linsys import exact_power
 
 __all__ = ["TPRewritePlan", "TPIRewritePlan", "ViewOracle"]
 
@@ -50,6 +61,9 @@ class TPRewritePlan:
         qr: the deterministic rewriting pattern over the extension document.
         restricted: Definition 5 (Theorem 1 applies); otherwise Theorem 2.
         u: the maximal prefix-suffix length of ``v``'s last token.
+        backend: numeric backend the probability function computes in
+            (``"exact"`` keeps Theorem 1/2's quotients bit-exact; ``"fast"``
+            trades exactness for float throughput).
     """
 
     query: TreePattern
@@ -59,34 +73,85 @@ class TPRewritePlan:
     qr: TreePattern
     restricted: bool
     u: int
+    backend: BackendLike = "exact"
+    # Per-extension evaluation caches, single-slot keyed on the extension's
+    # identity (all entries are derived from one extension's p-document and
+    # must never leak to another): the session over the extension document
+    # (cross-candidate subtree memo), Theorem 1's per-holder denominators,
+    # and Theorem 2's per-holder subdocument sessions.
+    _extension_caches: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- probability function f_r ----------------------------------------
-    def fr(self, extension: ProbabilisticViewExtension, node_id: int) -> Fraction:
-        """``f_r(n)``: recover ``Pr(n ∈ q(P))`` from the view extension only."""
+    def fr(
+        self,
+        extension: ProbabilisticViewExtension,
+        node_id: int,
+        session: Optional[QuerySession] = None,
+    ) -> Union[Fraction, float]:
+        """``f_r(n)``: recover ``Pr(n ∈ q(P))`` from the view extension only.
+
+        The value lives in the plan backend's domain.  ``session`` may
+        supply a caller-owned :class:`QuerySession` over the extension
+        p-document; by default the plan keeps one per extension so that
+        repeated ``fr`` calls share the subtree memo.
+        """
+        backend = get_backend(self.backend)
+        self._check_extension(extension, session)
+        holders = extension.selected_ancestors_or_self(node_id)
+        if not holders:
+            return backend.zero
+        if self.restricted:
+            if session is None:
+                session, _, _ = self._caches_for(extension)
+            return self._fr_restricted(extension, node_id, holders, session, backend)
+        return self._fr_inclusion_exclusion(extension, node_id, holders, backend)
+
+    def _check_extension(
+        self,
+        extension: ProbabilisticViewExtension,
+        session: Optional[QuerySession],
+    ) -> None:
         if extension.view.name != self.view.name:
             raise RewritingError(
                 f"plan reads view {self.view.name!r}, got {extension.view.name!r}"
             )
-        holders = extension.selected_ancestors_or_self(node_id)
-        if not holders:
-            return ZERO
-        if self.restricted:
-            return self._fr_restricted(extension, node_id, holders)
-        return self._fr_inclusion_exclusion(extension, node_id, holders)
+        if session is not None and session.p is not extension.pdocument:
+            raise RewritingError(
+                "supplied session is bound to a different p-document than "
+                "the extension being evaluated"
+            )
 
-    def _fr_restricted(
+    def _caches_for(
+        self, extension: ProbabilisticViewExtension
+    ) -> tuple[QuerySession, dict, dict]:
+        """The per-extension cache bundle ``(session, denominators,
+        subdocument sessions)``, reset whenever the plan meets a different
+        extension object."""
+        cached = self._extension_caches
+        if cached is None or cached[0] is not extension:
+            cached = (
+                extension,
+                QuerySession(extension.pdocument, backend=self.backend),
+                {},
+                {},
+            )
+            self._extension_caches = cached
+        return cached[1], cached[2], cached[3]
+
+    def _relevant_holder(
         self,
         extension: ProbabilisticViewExtension,
         node_id: int,
         holders: list[int],
-    ) -> Fraction:
-        """Theorem 1: ``Pr(n ∈ q_r(P_v)) ÷ Pr(n_a ∈ v_(k)(P_v^{n_a}))``.
+    ) -> Optional[int]:
+        """Theorem 1's unique relevant ancestor ``n_a`` (paper footnote 1).
 
-        The relevant ancestor ``n_a`` is unique (paper footnote 1): when the
-        compensation's main branch is ``/``-only, it is the holder at exactly
-        ``|mb(q_(k))|`` nodes' distance above ``n``; otherwise ``mb(v)`` is
-        ``/``-only and every holder sits at the same document depth, so a
-        node has at most one.
+        When the compensation's main branch is ``/``-only, it is the holder
+        at exactly ``|mb(q_(k))|`` nodes' distance above ``n``; otherwise
+        ``mb(v)`` is ``/``-only and every holder sits at the same document
+        depth, so a node has at most one.
         """
         if not ops.mb_has_desc_edge(self.compensation):
             distance = self.compensation.main_branch_length()
@@ -96,40 +161,67 @@ class TPRewritePlan:
                 if extension.nodes_between(h, node_id) == distance
             ]
             if not holders:
-                return ZERO
+                return None
         if len(holders) != 1:
             raise RewritingError(
                 "restricted plan found several compensation-reachable "
                 "ancestors; the rewriting is not restricted on this data"
             )
-        n_a = holders[0]
-        numerator = boolean_probability(
-            extension.pdocument, anchor_via_marker(self.qr, node_id)
+        return holders[0]
+
+    def _fr_restricted(
+        self,
+        extension: ProbabilisticViewExtension,
+        node_id: int,
+        holders: list[int],
+        session: QuerySession,
+        backend,
+    ):
+        """Theorem 1: ``Pr(n ∈ q_r(P_v)) ÷ Pr(n_a ∈ v_(k)(P_v^{n_a}))``."""
+        n_a = self._relevant_holder(extension, node_id, holders)
+        if n_a is None:
+            return backend.zero
+        numerator = session.boolean_probability(
+            anchor_via_marker(self.qr, node_id)
         )
-        out_token_node = ops.suffix(self.view.pattern, self.k)
-        denominator = boolean_probability(
-            extension.result_subdocument(n_a), out_token_node
-        )
-        if denominator == ZERO:
-            return ZERO
+        denominator = self._denominator(extension, n_a, backend)
+        if not denominator:
+            return backend.zero
         return numerator / denominator
+
+    def _denominator(
+        self, extension: ProbabilisticViewExtension, holder: int, backend
+    ):
+        """``Pr(n_a ∈ v_(k)(P_v^{n_a}))``, cached per extension and holder."""
+        _, denominators, _ = self._caches_for(extension)
+        key = (holder, backend.name)
+        if key not in denominators:
+            out_token_node = ops.suffix(self.view.pattern, self.k)
+            denominators[key] = boolean_probability(
+                extension.result_subdocument(holder),
+                out_token_node,
+                backend=backend,
+            )
+        return denominators[key]
 
     def _fr_inclusion_exclusion(
         self,
         extension: ProbabilisticViewExtension,
         node_id: int,
         holders: list[int],
-    ) -> Fraction:
+        backend,
+    ):
         """Theorem 2 / Lemma 1: ``Pr(∨ e_i)`` by inclusion-exclusion."""
-        total = ZERO
+        total = backend.zero
+        one = backend.one
         indices = range(len(holders))
         for size in range(1, len(holders) + 1):
-            sign = ONE if size % 2 == 1 else -ONE
+            sign = one if size % 2 == 1 else -one
             for subset in itertools.combinations(indices, size):
                 joint = self._joint_event_probability(
-                    extension, node_id, [holders[i] for i in subset]
+                    extension, node_id, [holders[i] for i in subset], backend
                 )
-                total += sign * joint
+                total = total + sign * joint
         return total
 
     def _joint_event_probability(
@@ -137,20 +229,23 @@ class TPRewritePlan:
         extension: ProbabilisticViewExtension,
         node_id: int,
         subset: list[int],
-    ) -> Fraction:
+        backend,
+    ):
         """``Pr(∩_{i∈S} e_i)`` per Theorem 2's α-pattern construction.
 
         ``subset`` is ordered top-down; its head ``n_{i0}`` supplies the base
         factor ``Pr(n_{i0} ∈ v(P)) ÷ Pr(n_{i0} ∈ v_(k)(P_v^{n_{i0}}))``, and
         all remaining events are tested jointly inside ``P̂_v^{n_{i0}}``.
+        All conjuncts are evaluated through one session per subtree root, so
+        candidates sharing a holder also share its subtree memo.
         """
         top = subset[0]
-        sub = extension.result_subdocument(top)
+        sub_session = self._subdocument_session(extension, top)
         out_token_node = ops.suffix(self.view.pattern, self.k)
-        denominator = boolean_probability(sub, out_token_node)
-        if denominator == ZERO:
-            return ZERO
-        base = extension.selection[top] / denominator
+        denominator = sub_session.boolean_probability(out_token_node)
+        if not denominator:
+            return backend.zero
+        base = backend.convert(extension.selection[top]) / denominator
         components = [anchor_via_marker(self.compensation, node_id)]
         token = ops.last_token(self.view.pattern)
         m = token.main_branch_length()
@@ -159,8 +254,20 @@ class TPRewritePlan:
             components.append(
                 self._alpha_component(token, m, s, deeper, node_id)
             )
-        probability = ProbEvaluator(sub, components).all_match_probability()
+        probability = sub_session.boolean_many([(components, None)])[0]
         return base * probability
+
+    def _subdocument_session(
+        self, extension: ProbabilisticViewExtension, top: int
+    ) -> QuerySession:
+        _, _, sub_sessions = self._caches_for(extension)
+        key = (top, get_backend(self.backend).name)
+        session = sub_sessions.get(key)
+        if session is None:
+            session = sub_sessions[key] = QuerySession(
+                extension.result_subdocument(top), backend=self.backend
+            )
+        return session
 
     def _alpha_component(
         self,
@@ -177,8 +284,6 @@ class TPRewritePlan:
         may overlap (``s ≤ m``), only the bottom ``s`` token nodes are
         matched, starting *at* the subtree root.
         """
-        from ..tp.pattern import Axis, PatternNode
-
         if s > m:
             chain = anchor_via_marker(token, deeper_id)
             root = PatternNode(self.view.pattern.out.label, Axis.CHILD)
@@ -193,22 +298,82 @@ class TPRewritePlan:
 
     # -- full plan evaluation --------------------------------------------
     def evaluate(
-        self, extension: ProbabilisticViewExtension
-    ) -> dict[int, Fraction]:
-        """The complete probabilistic answer ``q(P̂)`` from the extension."""
-        answer: dict[int, Fraction] = {}
-        for node_id in self._candidates(extension):
-            probability = self.fr(extension, node_id)
-            if probability > ZERO:
+        self,
+        extension: ProbabilisticViewExtension,
+        session: Optional[QuerySession] = None,
+    ) -> dict[int, Union[Fraction, float]]:
+        """The complete probabilistic answer ``q(P̂)`` from the extension.
+
+        Restricted plans batch every candidate's numerator through one
+        shared session pass (`QuerySession.boolean_many`); unrestricted
+        plans share per-holder subdocument sessions across candidates.
+        """
+        backend = get_backend(self.backend)
+        self._check_extension(extension, session)
+        candidates = self._candidates(extension)
+        answer: dict[int, Union[Fraction, float]] = {}
+        if not candidates:
+            return answer
+        zero = backend.zero
+        if self.restricted:
+            if session is None:
+                session, _, _ = self._caches_for(extension)
+            probabilities = self._restricted_batch(
+                extension, candidates, session, backend
+            )
+        else:
+            probabilities = [
+                self.fr(extension, node_id) for node_id in candidates
+            ]
+        for node_id, probability in zip(candidates, probabilities):
+            if probability > zero:
                 answer[node_id] = probability
         return answer
+
+    def _restricted_batch(
+        self,
+        extension: ProbabilisticViewExtension,
+        candidates: list[int],
+        session: QuerySession,
+        backend,
+    ) -> list:
+        """Theorem 1 over a whole candidate list, numerators batched.
+
+        Candidates without a compensation-reachable holder have ``f_r = 0``
+        and are excluded from the numerator batch up front.
+        """
+        holder_of: dict[int, Optional[int]] = {}
+        for node_id in candidates:
+            holders = extension.selected_ancestors_or_self(node_id)
+            holder_of[node_id] = (
+                self._relevant_holder(extension, node_id, holders)
+                if holders
+                else None
+            )
+        evaluable = [n for n in candidates if holder_of[n] is not None]
+        numerators = dict(
+            zip(
+                evaluable,
+                session.boolean_many(
+                    [anchor_via_marker(self.qr, n) for n in evaluable]
+                ),
+            )
+        )
+        probabilities = []
+        for node_id in candidates:
+            n_a = holder_of[node_id]
+            if n_a is None:
+                probabilities.append(backend.zero)
+                continue
+            denominator = self._denominator(extension, n_a, backend)
+            probabilities.append(
+                numerators[node_id] / denominator if denominator else backend.zero
+            )
+        return probabilities
 
     def _candidates(self, extension: ProbabilisticViewExtension) -> list[int]:
         """Original node Ids that the deterministic part q_r may select."""
         world = extension.pdocument.max_world()
-        from ..tp.embedding import evaluate as evaluate_deterministic
-        from ..views.view import parse_marker_label
-
         selected = evaluate_deterministic(self.qr, world)
         originals: set[int] = set()
         for fresh_id in selected:
@@ -226,7 +391,7 @@ class TPRewritePlan:
 # ======================================================================
 # Multi-view plans (§5)
 # ======================================================================
-ViewOracle = Callable[[int], Fraction]
+ViewOracle = Callable[[int], Union[Fraction, float]]
 """Returns ``Pr(n ∈ u_i(P))`` for the (possibly compensated) view ``u_i``,
 computed from that view's extension only."""
 
@@ -242,6 +407,9 @@ class TPIRewritePlan:
         exponents: the exact rational exponents ``c_i``; Theorem 3's plan is
             the instance with ``c_i = 1`` and ``c_{mb-view} −= (m−1)``.
         candidate_source: yields the node Ids the deterministic part selects.
+        backend: numeric backend of the product ``f_r``.  ``"exact"`` uses
+            the exact rational root extraction of :func:`repro.rewrite.
+            linsys.exact_power`; any other backend computes float powers.
     """
 
     query: TreePattern
@@ -250,27 +418,35 @@ class TPIRewritePlan:
     exponents: dict[str, Fraction]
     candidate_source: Callable[[], Sequence[int]]
     description: str = ""
+    backend: BackendLike = "exact"
 
-    def fr(self, node_id: int) -> Fraction:
-        factors: list[tuple[Fraction, Fraction]] = []
+    def fr(self, node_id: int) -> Union[Fraction, float]:
+        backend = get_backend(self.backend)
+        factors: list[tuple] = []
         for name in self.names:
             exponent = self.exponents.get(name, ZERO)
             if exponent == ZERO:
                 continue
             factor = self.oracles[name](node_id)
-            if factor == ZERO:
-                return ZERO
+            if not factor:
+                return backend.zero
             factors.append((factor, exponent))
-        from .linsys import exact_power
+        if backend.name == "exact":
+            return exact_power(
+                [(as_fraction(base), exponent) for base, exponent in factors]
+            )
+        product = backend.one
+        for base, exponent in factors:
+            product = product * backend.convert(
+                float(base) ** float(exponent)
+            )
+        return product
 
-        return exact_power(factors)
-
-    def evaluate(self) -> dict[int, Fraction]:
-        answer: dict[int, Fraction] = {}
+    def evaluate(self) -> dict[int, Union[Fraction, float]]:
+        zero = get_backend(self.backend).zero
+        answer: dict[int, Union[Fraction, float]] = {}
         for node_id in self.candidate_source():
             probability = self.fr(node_id)
-            if probability > ZERO:
+            if probability > zero:
                 answer[node_id] = probability
         return answer
-
-

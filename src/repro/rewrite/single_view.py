@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..probability import BackendLike
 from ..tp import ops
 from ..tp.containment import contains, equivalent
 from ..tp.pattern import TreePattern
@@ -76,11 +77,15 @@ def find_deterministic_tp_rewriting(
     return None
 
 
-def probabilistic_tp_plan(q: TreePattern, view: View) -> Optional[TPRewritePlan]:
+def probabilistic_tp_plan(
+    q: TreePattern, view: View, backend: BackendLike = "exact"
+) -> Optional[TPRewritePlan]:
     """Build the probabilistic TP-rewriting of ``q`` over one view, if any.
 
     Implements the per-view body of ``TPrewrite`` (Figure 6); returns
-    ``None`` when any condition fails.
+    ``None`` when any condition fails.  The decision procedure is purely
+    syntactic; ``backend`` only parameterizes the numeric domain the
+    returned plan's ``f_r`` computes in.
     """
     v = view.pattern
     if not fact1_holds(q, v):
@@ -104,10 +109,13 @@ def probabilistic_tp_plan(q: TreePattern, view: View) -> Optional[TPRewritePlan]
         qr=qr,
         restricted=restricted,
         u=u,
+        backend=backend,
     )
 
 
-def tp_rewrite(q: TreePattern, views: Sequence[View]) -> list[TPRewritePlan]:
+def tp_rewrite(
+    q: TreePattern, views: Sequence[View], backend: BackendLike = "exact"
+) -> list[TPRewritePlan]:
     """``TPrewrite`` (Figure 6): all views yielding probabilistic rewritings.
 
     Sound and complete for the existence of a probabilistic TP-rewriting
@@ -115,7 +123,7 @@ def tp_rewrite(q: TreePattern, views: Sequence[View]) -> list[TPRewritePlan]:
     """
     plans = []
     for view in views:
-        plan = probabilistic_tp_plan(q, view)
+        plan = probabilistic_tp_plan(q, view, backend=backend)
         if plan is not None:
             plans.append(plan)
     return plans

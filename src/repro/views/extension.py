@@ -19,11 +19,14 @@ object — never the original document.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from fractions import Fraction
+from typing import Optional
 
+from ..errors import PDocumentError
 from ..probability import BackendLike
 from ..prob.engine import query_answer
+from ..prob.session import QuerySession
 from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
@@ -63,13 +66,29 @@ class ProbabilisticViewExtension:
     #: original node Id n -> set of selected Ids m such that the result
     #: subtree of m contains an occurrence of n (derived from markers).
     occurrences: dict[int, set[int]]
+    #: lazily built cache of result p-subdocuments; rewriting plans request
+    #: the same holder's subdocument once per candidate below it, and each
+    #: build is a deep copy.
+    _subdocuments: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def selected_ids(self) -> list[int]:
         return sorted(self.selection)
 
     def result_subdocument(self, original_id: int) -> PDocument:
-        """``P̂_v^{n}``: the p-subdocument rooted at ``n``'s own result copy."""
-        return self.pdocument.subdocument(self.subtree_roots[original_id])
+        """``P̂_v^{n}``: the p-subdocument rooted at ``n``'s own result copy.
+
+        Cached per holder: repeated requests return the same
+        :class:`PDocument` object, so session-level memos keyed on it
+        survive across the candidates of a plan evaluation.
+        """
+        cached = self._subdocuments.get(original_id)
+        if cached is None:
+            cached = self._subdocuments[original_id] = self.pdocument.subdocument(
+                self.subtree_roots[original_id]
+            )
+        return cached
 
     def selected_ancestors_or_self(self, original_id: int) -> list[int]:
         """Selected nodes whose result subtree contains ``original_id``,
@@ -135,15 +154,30 @@ def _copy_doc_with_markers(source, fresh) -> DocNode:
 
 
 def probabilistic_extension(
-    p: PDocument, view: View, backend: BackendLike = "exact"
+    p: PDocument,
+    view: View,
+    backend: BackendLike = "exact",
+    session: Optional[QuerySession] = None,
 ) -> ProbabilisticViewExtension:
     """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees + Id markers).
 
     The view's selection probabilities are computed by the single-pass
     engine in the given numeric backend; with ``"fast"`` the extension's
     ind-edge probabilities are floats instead of exact Fractions.
+
+    ``session`` may supply a caller-owned :class:`QuerySession` over ``p``
+    (its backend then wins): materializing several views through one
+    session shares per-subtree work between their selection queries.
     """
-    answer = query_answer(p, view.pattern, backend=backend)
+    if session is not None:
+        if session.p is not p:
+            raise PDocumentError(
+                "probabilistic_extension: session is bound to a different "
+                "p-document"
+            )
+        answer = session.answer(view.pattern)
+    else:
+        answer = query_answer(p, view.pattern, backend=backend)
     fresh = itertools.count(1)
     root = PNode(0, PNodeKind.ORDINARY, view.doc_label)
     bundle = PNode(next(fresh), PNodeKind.IND)

@@ -29,6 +29,7 @@ __all__ = [
     "personnel_pdocument",
     "personnel_query",
     "personnel_views",
+    "batch_workload",
     "chain_query",
     "chain_views",
     "adversarial_intersection",
@@ -170,6 +171,71 @@ def personnel_views() -> list[View]:
         View("rickbonus", parse_pattern("IT-personnel//person[name/Rick]/bonus")),
         View("allbonus", parse_pattern("IT-personnel//person/bonus")),
     ]
+
+
+# ----------------------------------------------------------------------
+# Batched-workload family (multi-query sessions)
+# ----------------------------------------------------------------------
+def batch_workload(
+    persons: int, projects: int = 8, seed: int = 0, profile: int = 6
+) -> tuple[PDocument, list[TreePattern]]:
+    """A view-cache style workload: one personnel query per project.
+
+    Models the batched-evaluation regime of ``QuerySession.answer_many``:
+    ``projects`` structurally identical queries (differing only in the
+    project label) over one p-document where each person holds exactly one
+    project — so every query's answers touch ``1/projects`` of the
+    document — plus a query-neutral probabilistic ``profile`` subtree of
+    ``profile`` log entries per person, whose evaluation is shared by
+    every query of a batch.
+
+    Node Ids follow :func:`personnel_pdocument`: person ``i`` is
+    ``100·i``, its bonus ``100·i + 1``.
+
+    Returns ``(pdocument, queries)``.
+    """
+    rng = random.Random(seed)
+    counter = itertools.count(1_000_000)
+    people = []
+    for i in range(1, persons + 1):
+        project = f"project{(i - 1) % projects}"
+        amount = ordinary(next(counter), str(rng.randint(10, 99)))
+        project_node = ordinary(next(counter), project, amount)
+        if rng.random() < 0.5:
+            bonus_children = [mux(next(counter), (project_node, "0.8"))]
+        else:
+            bonus_children = [project_node]
+        entries = []
+        for _ in range(profile):
+            entry = ordinary(
+                next(counter),
+                "entry",
+                ordinary(next(counter), f"day{rng.randint(1, 28)}"),
+                ordinary(next(counter), "note"),
+            )
+            entries.append(
+                ind(next(counter), (entry, rng.choice(["0.25", "0.5", "0.75"])))
+            )
+        people.append(
+            ordinary(
+                100 * i,
+                "person",
+                ordinary(
+                    next(counter),
+                    "name",
+                    mux(
+                        next(counter),
+                        (ordinary(next(counter), "Rick"), "0.5"),
+                        (ordinary(next(counter), f"emp{i}"), "0.5"),
+                    ),
+                ),
+                ordinary(100 * i + 1, "bonus", *bonus_children),
+                ordinary(next(counter), "profile", *entries),
+            )
+        )
+    p = pdoc(ordinary(1, "IT-personnel", *people))
+    queries = [personnel_query(f"project{j}") for j in range(projects)]
+    return p, queries
 
 
 # ----------------------------------------------------------------------

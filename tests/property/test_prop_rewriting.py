@@ -87,3 +87,43 @@ def test_prefix_suffix_token_views_exact(seed):
     )
     ext = probabilistic_extension(p, view)
     assert plan.evaluate(ext) == query_answer(p, q)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_fast_backend_restricted_plans_agree_with_exact(seed):
+    """The cache's ``fast`` backend flows through Theorem 1's quotients."""
+    rng = random.Random(seed)
+    q = random_tree_pattern(
+        rng, labels=LABELS, mb_length=rng.randint(2, 3), predicate_probability=0.4
+    )
+    k = rng.randint(1, q.main_branch_length())
+    view = View("v", ops.prefix(q, k))
+    plan = probabilistic_tp_plan(q, view, backend="fast")
+    if plan is None:
+        return
+    p = random_pdocument(rng, labels=LABELS, max_depth=3, max_children=2)
+    fast = plan.evaluate(probabilistic_extension(p, view, backend="fast"))
+    exact = query_answer(p, q)
+    assert set(fast) == set(exact)
+    for node_id in exact:
+        assert abs(fast[node_id] - float(exact[node_id])) < 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_fast_backend_inclusion_exclusion_agrees_with_exact(seed):
+    """... and through Theorem 2's α-pattern inclusion-exclusion."""
+    rng = random.Random(seed)
+    q = parse_pattern("a//b/c//d")
+    view = View("v", parse_pattern("a//b/c"))
+    plan = probabilistic_tp_plan(q, view, backend="fast")
+    assert plan is not None and not plan.restricted
+    p = random_pdocument(
+        rng, labels=("a", "b", "c", "d"), max_depth=5, max_children=2
+    )
+    fast = plan.evaluate(probabilistic_extension(p, view, backend="fast"))
+    exact = query_answer(p, q)
+    assert set(fast) == set(exact)
+    for node_id in exact:
+        assert abs(fast[node_id] - float(exact[node_id])) < 1e-9

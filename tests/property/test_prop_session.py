@@ -1,0 +1,94 @@
+"""Property tests for the QuerySession batch layer.
+
+The central invariant (ISSUE 2's acceptance bar): ``answer_many`` over a
+random batch equals per-query :meth:`EvaluationEngine.answer` *exactly*
+on the ``exact`` backend and within ``1e-9`` on ``fast`` — on random
+p-documents, random query batches, cold and warm sessions alike (warm
+runs exercise cross-call memo reuse, where a stale or over-shared
+distribution would surface immediately).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prob import QuerySession, query_answer
+from repro.prob.engine import boolean_probability, node_probability
+from repro.workloads.synthetic import random_pdocument, random_tree_pattern
+
+LABELS = ("a", "b", "c")
+TOLERANCE = 1e-9
+
+
+def make_batch(seed: int, max_queries: int = 3):
+    rng = random.Random(seed)
+    p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+    queries = [
+        random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 4))
+        for _ in range(rng.randint(1, max_queries))
+    ]
+    return p, queries
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_answer_many_matches_sequential_exactly(seed):
+    p, queries = make_batch(seed)
+    session = QuerySession(p)
+    batch = session.answer_many(queries)
+    assert batch == [query_answer(p, q) for q in queries]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_answer_many_fast_within_tolerance(seed):
+    p, queries = make_batch(seed)
+    exact = [query_answer(p, q) for q in queries]
+    fast = QuerySession(p, backend="fast").answer_many(queries)
+    for d_exact, d_fast in zip(exact, fast):
+        for node_id in set(d_exact) | set(d_fast):
+            assert abs(
+                d_fast.get(node_id, 0.0) - float(d_exact.get(node_id, 0))
+            ) < TOLERANCE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_warm_session_stays_exact(seed):
+    # Memo reuse across calls must never change an answer: repeat the same
+    # batch, then a permuted batch, on one session.
+    p, queries = make_batch(seed)
+    session = QuerySession(p)
+    sequential = [query_answer(p, q) for q in queries]
+    assert session.answer_many(queries) == sequential
+    assert session.answer_many(queries) == sequential
+    reversed_queries = list(reversed(queries))
+    assert session.answer_many(reversed_queries) == list(reversed(sequential))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_boolean_many_matches_engine(seed):
+    p, queries = make_batch(seed)
+    session = QuerySession(p)
+    items = []
+    expected = []
+    for q in queries:
+        items.append(q)
+        expected.append(boolean_probability(p, q))
+        candidates = sorted(query_answer(p, q))
+        if candidates:
+            items.append((q, {q.out: candidates[0]}))
+            expected.append(node_probability(p, q, candidates[0]))
+    assert session.boolean_many(items) == expected
+    # Warm repeat (memo) must agree too.
+    assert session.boolean_many(items) == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_single_query_session_equals_query_answer(seed):
+    rng = random.Random(seed)
+    p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+    q = random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 4))
+    assert QuerySession(p).answer(q) == query_answer(p, q)

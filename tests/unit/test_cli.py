@@ -49,6 +49,29 @@ class TestCommands:
         assert code == 0
         assert "no answers" in capsys.readouterr().out
 
+    def test_eval_multiple_queries_batched(self, doc_file, capsys):
+        code = main([
+            "eval", doc_file,
+            "IT-personnel//person/bonus[laptop]",
+            "IT-personnel/zzz",
+            "--batch",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "query IT-personnel//person/bonus[laptop]" in out
+        assert "node 5" in out and "0.9" in out
+        assert "no answers" in out
+
+    def test_eval_multiple_queries_sequential_matches_batched(
+        self, doc_file, capsys
+    ):
+        queries = ["IT-personnel//person/bonus[laptop]",
+                   "IT-personnel//person/name"]
+        assert main(["eval", doc_file, *queries]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["eval", doc_file, *queries, "--batch"]) == 0
+        assert capsys.readouterr().out == sequential
+
     def test_worlds(self, doc_file, capsys):
         code = main(["worlds", doc_file, "--limit", "3"])
         out = capsys.readouterr().out

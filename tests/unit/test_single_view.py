@@ -139,3 +139,79 @@ class TestPlanEvaluation:
         ext = probabilistic_extension(p, v)
         assert ext.selection == {1: Fraction(1, 2)}
         assert plan.evaluate(ext) == query_answer(p, q)
+
+
+class TestPlanReuseAcrossExtensions:
+    """A plan's per-extension caches must never leak between extensions
+    of the same view over different documents (regression test)."""
+
+    def test_restricted_plan_reused_on_second_extension(self):
+        from repro.pxml import ind, ordinary, pdoc
+
+        q = parse_pattern("a/b[c]/d")
+        view = View("v", parse_pattern("a/b[c]"))
+        plan = probabilistic_tp_plan(q, view)
+        assert plan is not None
+
+        def doc(c_probability):
+            return pdoc(
+                ordinary(0, "a",
+                         ordinary(1, "b",
+                                  ind(2, (ordinary(3, "c"), c_probability)),
+                                  ordinary(5, "d")))
+            )
+
+        p1, p2 = doc("0.5"), doc("0.25")
+        ext1 = probabilistic_extension(p1, view)
+        ext2 = probabilistic_extension(p2, view)
+        # Same plan object against both extensions, both orders.
+        assert plan.evaluate(ext1) == query_answer(p1, q)
+        assert plan.evaluate(ext2) == query_answer(p2, q)
+        assert plan.evaluate(ext1) == query_answer(p1, q)
+
+    def test_evaluate_rejects_foreign_extension(self):
+        q = parse_pattern("a/b[c]/d")
+        plan = probabilistic_tp_plan(q, View("v", parse_pattern("a/b[c]")))
+        assert plan is not None
+        from repro.pxml import ordinary, pdoc
+
+        p = pdoc(ordinary(0, "a", ordinary(1, "b", ordinary(2, "c"),
+                                           ordinary(3, "d"))))
+        other = probabilistic_extension(p, View("w", parse_pattern("a/b")))
+        with pytest.raises(RewritingError):
+            plan.evaluate(other)
+        with pytest.raises(RewritingError):
+            plan.fr(other, 3)
+
+    def test_evaluate_rejects_mismatched_session(self):
+        from repro.prob import QuerySession
+        from repro.pxml import ordinary, pdoc
+
+        q = parse_pattern("a/b[c]/d")
+        view = View("v", parse_pattern("a/b[c]"))
+        plan = probabilistic_tp_plan(q, view)
+        p = pdoc(ordinary(0, "a", ordinary(1, "b", ordinary(2, "c"),
+                                           ordinary(3, "d"))))
+        ext = probabilistic_extension(p, view)
+        base_session = QuerySession(p)  # base document, not the extension
+        with pytest.raises(RewritingError):
+            plan.evaluate(ext, session=base_session)
+
+    def test_unrestricted_plan_reused_on_second_extension(self):
+        import random
+
+        from repro.workloads.synthetic import random_pdocument
+
+        q = parse_pattern("a//b/c//d")
+        view = View("v", parse_pattern("a//b/c"))
+        plan = probabilistic_tp_plan(q, view)
+        assert plan is not None and not plan.restricted
+        rng = random.Random(5)
+        documents = [
+            random_pdocument(rng, labels=("a", "b", "c", "d"),
+                             max_depth=5, max_children=2)
+            for _ in range(3)
+        ]
+        for p in documents:
+            ext = probabilistic_extension(p, view)
+            assert plan.evaluate(ext) == query_answer(p, q)
