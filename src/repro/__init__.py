@@ -14,6 +14,10 @@ Tractability", VLDB 2012 (PVLDB 5(11):1148-1159):
 * workload sessions (:class:`repro.prob.QuerySession`): batches of
   queries evaluated in one shared traversal with cross-query subtree
   memoization, invalidated by p-document mutation epochs;
+* persistent structural memo stores (:mod:`repro.store`): subtree
+  evaluations cached content-addressed — by structural digest and
+  goal-table fingerprint — with cost-aware LRU eviction in memory and a
+  SQLite tier that survives process restarts;
 * view extensions with persistent-identity markers;
 * probabilistic condition-independence (c-independence);
 * ``TPrewrite`` — single-view probabilistic rewritings (restricted and
@@ -89,6 +93,12 @@ from .tpi import (
     tpi_equivalent_tp,
     is_extended_skeleton,
 )
+from .store import (
+    MemoStore,
+    InMemoryStore,
+    SqliteStore,
+    open_store,
+)
 from .prob import (
     EvaluationEngine,
     QuerySession,
@@ -127,6 +137,7 @@ __all__ = [
     "contains", "equivalent", "minimize",
     "TPIntersection", "interleavings", "tpi_satisfiable",
     "tpi_equivalent_tp", "is_extended_skeleton",
+    "MemoStore", "InMemoryStore", "SqliteStore", "open_store",
     "EvaluationEngine", "QuerySession",
     "query_answer", "node_probability", "boolean_probability",
     "intersection_answer",

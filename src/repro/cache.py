@@ -13,7 +13,9 @@ possible, trying in order:
 
 The cache owns one :class:`repro.prob.session.QuerySession` over the base
 p-document for its whole lifetime: view materializations and direct
-evaluations share the session's cross-query subtree memo, and
+evaluations share the session's structural subtree memo (one
+:class:`repro.store.MemoStore`, persistable across restarts via
+``store=SqliteStore(path)``), and
 :meth:`RewritingCache.answer_many` evaluates a whole workload batch of
 direct-path queries in a single shared traversal.  Rewriting plans are
 built with the cache's numeric backend, so ``backend="fast"`` flows into
@@ -36,6 +38,7 @@ from .errors import NoRewritingError, UnknownViewError
 from .probability import BackendLike, get_backend
 from .prob.session import QuerySession
 from .pxml.pdocument import PDocument
+from .store import MemoStore
 from .rewrite.multi_view import tpi_rewrite
 from .rewrite.single_view import probabilistic_tp_plan
 from .tp.pattern import TreePattern
@@ -80,6 +83,10 @@ class RewritingCache:
             rewriting-plan probability functions, and direct evaluation.
             ``"exact"`` (default) keeps everything bit-exact; ``"fast"``
             trades exactness for float throughput.
+        store: optional :class:`repro.store.MemoStore` backing the
+            cache's session — view materialization and direct answers
+            then share one structural memo, and a
+            :class:`repro.store.SqliteStore` makes it survive restarts.
     """
 
     def __init__(
@@ -87,12 +94,13 @@ class RewritingCache:
         p: PDocument,
         strict: bool = False,
         backend: BackendLike = "exact",
+        store: Optional[MemoStore] = None,
     ) -> None:
         self._p: Optional[PDocument] = None if strict else p
         self._build_source = p
         self.strict = strict
         self.backend = get_backend(backend)
-        self._session = QuerySession(p, backend=self.backend)
+        self._session = QuerySession(p, backend=self.backend, store=store)
         self._views: dict[str, View] = {}
         self._extensions: dict[str, ProbabilisticViewExtension] = {}
         self._source_counts: dict[AnswerSource, int] = {
@@ -231,13 +239,16 @@ class RewritingCache:
         answers produced by each strategy (decisions via ``answerable``
         are not counted); ``"total"`` sums them; ``"session"`` is a
         snapshot of :class:`repro.prob.session.SessionStats` for the
-        cache's base-document session.
+        cache's base-document session; ``"store"`` holds the structural
+        memo store's counters (``None`` when memoization is off).
         """
         counts = {
             source.name: count for source, count in self._source_counts.items()
         }
         counts["total"] = sum(self._source_counts.values())
         counts["session"] = self._session.stats.snapshot()
+        store = self._session.store
+        counts["store"] = store.stats() if store is not None else None
         return counts
 
     @property
@@ -252,7 +263,9 @@ class RewritingCache:
         self, q: TreePattern, decide_only: bool = False
     ) -> Optional[CachedAnswer]:
         for view in self._views.values():
-            plan = probabilistic_tp_plan(q, view, backend=self.backend)
+            plan = probabilistic_tp_plan(
+                q, view, backend=self.backend, store=self._session.store
+            )
             if plan is None:
                 continue
             if decide_only:
@@ -274,6 +287,7 @@ class RewritingCache:
             list(self._views.values()),
             self._extensions,
             backend=self.backend,
+            store=self._session.store,
         )
         if plan is None:
             return None

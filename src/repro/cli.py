@@ -5,6 +5,9 @@ Examples::
     python -m repro demo                       # reproduce paper examples
     python -m repro eval  doc.pxml "a/b[c]"    # probabilistic evaluation
     python -m repro eval  doc.pxml "a/b" "a//c" --batch   # one shared pass
+    python -m repro eval  doc.pxml "a/b" --store memo.db  # persistent memo
+    python -m repro store warm  memo.db doc.pxml "a/b" "a//c"
+    python -m repro store stats memo.db        # inspect a memo store
     python -m repro worlds doc.pxml            # enumerate possible worlds
     python -m repro rewrite doc.pxml "a/b[c]" --view "a/b" --view "a//b"
     python -m repro skeleton "a[b//c]/d//e"    # extended-skeleton check
@@ -25,6 +28,7 @@ from .prob.session import QuerySession
 from .pxml.serialize import pdocument_from_text, pdocument_to_text
 from .pxml.worlds import enumerate_worlds
 from .rewrite.single_view import probabilistic_tp_plan
+from .store import SqliteStore
 from .tp.parser import parse_pattern
 from .tpi.skeleton import is_extended_skeleton
 from .views.extension import probabilistic_extension
@@ -40,11 +44,15 @@ def _load(path: str):
 def _cmd_eval(args: argparse.Namespace) -> int:
     p = _load(args.document)
     queries = [parse_pattern(text) for text in args.query]
+    store = SqliteStore(args.store) if args.store else None
     if args.batch:
-        session = QuerySession(p, backend=args.backend)
+        session = QuerySession(p, backend=args.backend, store=store)
         answers = session.answer_many(queries)
     else:
-        answers = [query_answer(p, q, backend=args.backend) for q in queries]
+        answers = [
+            query_answer(p, q, backend=args.backend, store=store)
+            for q in queries
+        ]
     for text, answer in zip(args.query, answers):
         if len(queries) > 1:
             print(f"query {text}")
@@ -53,6 +61,57 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             continue
         for node_id, probability in sorted(answer.items()):
             print(f"node {node_id}\tPr = {prob_str(probability)}")
+    if store is not None:
+        stats = store.stats()
+        store.close()
+        print(
+            f"store {args.store}: {stats['entries']} entries, "
+            f"{stats['hits']} hits / {stats['misses']} misses this run"
+        )
+    return 0
+
+
+def _cmd_store_stats(args: argparse.Namespace) -> int:
+    if not Path(args.path).exists():
+        print(f"no store file at {args.path}", file=sys.stderr)
+        return 1
+    # Inspection only: lazy mode counts rows without decoding the table.
+    store = SqliteStore(args.path, preload=False)
+    stats = store.stats()
+    store.close()
+    print(f"path     {stats['path']}")
+    print(f"entries  {stats['entries']}")
+    print(f"weight   {stats['weight']}")
+    if stats["degraded"]:
+        print("state    DEGRADED (file unusable; see warning)")
+    return 0
+
+
+def _cmd_store_clear(args: argparse.Namespace) -> int:
+    if not Path(args.path).exists():
+        print(f"no store file at {args.path}", file=sys.stderr)
+        return 1
+    store = SqliteStore(args.path, preload=False)
+    before = len(store)
+    store.clear()
+    store.close()
+    print(f"cleared {before} entries from {args.path}")
+    return 0
+
+
+def _cmd_store_warm(args: argparse.Namespace) -> int:
+    p = _load(args.document)
+    queries = [parse_pattern(text) for text in args.query]
+    store = SqliteStore(args.path)
+    session = QuerySession(p, backend=args.backend, store=store)
+    session.answer_many(queries)
+    stats = store.stats()
+    store.close()
+    print(
+        f"warmed {args.path} with {len(queries)} queries over "
+        f"{args.document}: {stats['entries']} entries, "
+        f"weight {stats['weight']}"
+    )
     return 0
 
 
@@ -143,7 +202,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate all queries in one shared session traversal with "
         "cross-query subtree memoization (QuerySession.answer_many)",
     )
+    p_eval.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent structural memo store (SQLite file): subtree "
+        "evaluations are reused across queries, documents and runs",
+    )
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_store = sub.add_parser(
+        "store", help="inspect/manage a persistent memo store"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_stats = store_sub.add_parser("stats", help="entry count and weight")
+    p_stats.add_argument("path")
+    p_stats.set_defaults(func=_cmd_store_stats)
+    p_clear = store_sub.add_parser("clear", help="drop every cached entry")
+    p_clear.add_argument("path")
+    p_clear.set_defaults(func=_cmd_store_clear)
+    p_warm = store_sub.add_parser(
+        "warm",
+        help="pre-populate a store by evaluating queries over a document",
+    )
+    p_warm.add_argument("path")
+    p_warm.add_argument("document")
+    p_warm.add_argument("query", nargs="+",
+                        help="one or more TP queries (XPath-style)")
+    p_warm.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="exact",
+        help="numeric backend the warmed entries are computed in",
+    )
+    p_warm.set_defaults(func=_cmd_store_warm)
 
     p_worlds = sub.add_parser("worlds", help="enumerate possible worlds")
     p_worlds.add_argument("document")

@@ -50,7 +50,10 @@ def approximate_node_probability(
     see :data:`repro.prob.engine.AnchorsLike`) on top of ``out(q) ↦ n``.
     """
     rng = rng or random.Random()
-    anchors = {**normalize_anchors([q], anchors), id(q.out): node_id}
+    # Merge the output pin as a PatternNode key (the stable anchor form;
+    # a later entry wins, so an explicit out(q) anchor is overridden) and
+    # normalize everything in one step.
+    anchors = normalize_anchors([q], {**dict(anchors or {}), q.out: node_id})
     hits = 0
     for _ in range(samples):
         world = sample_world(p, rng)

@@ -59,6 +59,7 @@ from typing import Mapping, Optional, Sequence, Union
 from ..errors import PatternError
 from ..probability import BackendLike, NumericBackend, get_backend
 from ..pxml.pdocument import PDocument, PNode, PNodeKind
+from ..store import GATE_BLOCKED, GATE_UNPINNED, MemoStore, SubtreeKeyer
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
 
@@ -174,13 +175,20 @@ class EvaluationEngine:
             for TP∩).
         anchors: optional static anchors, see :data:`AnchorsLike`.
         backend: numeric backend name or instance (default ``"exact"``).
+        store: optional :class:`repro.store.MemoStore` — subtree
+            distributions are then consulted/filled under the canonical
+            structural keys (:mod:`repro.store.api`), skipping whole
+            subtrees whose evaluation a previous engine, session, or
+            process already performed.  Anchored restrictions bypass the
+            store (anchors pin node identity, not structure).
 
     Attributes:
         visits: cumulative count of p-document nodes combined by the DP —
             one increment per node per traversal.  :meth:`answer` performs
             exactly one traversal regardless of the candidate count, so
             after a fresh engine's ``answer()`` call this equals
-            ``p.size()``.
+            ``p.size()`` (store-less engines; a store additionally skips
+            memoized or query-neutral subtrees).
     """
 
     def __init__(
@@ -189,11 +197,13 @@ class EvaluationEngine:
         patterns: Sequence[TreePattern],
         anchors: Optional[AnchorsLike] = None,
         backend: BackendLike = "exact",
+        store: Optional[MemoStore] = None,
     ) -> None:
         self.p = p
         self.patterns = list(patterns)
         self.backend: NumericBackend = get_backend(backend)
         self.anchors = normalize_anchors(self.patterns, anchors)
+        self.store = store
         self.visits = 0
         self._zero = self.backend.zero
         self._one = self.backend.one
@@ -462,6 +472,8 @@ class EvaluationEngine:
     # Unpinned single-distribution DP (anchored / Boolean evaluation)
     # ------------------------------------------------------------------
     def _single_pass(self) -> Distribution:
+        if self.store is not None:
+            return self._single_pass_stored()
         memo: dict[int, Distribution] = {}
         stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
         while stack:
@@ -472,6 +484,47 @@ class EvaluationEngine:
                     stack.append((child, False))
                 continue
             memo[node.node_id] = self.combine_unpinned(node, memo)
+            for child in node.children:
+                del memo[child.node_id]
+        return memo[self.p.root.node_id]
+
+    def _single_pass_stored(self) -> Distribution:
+        """Unpinned DP consulting/filling the structural memo store.
+
+        Neutral subtrees (no goal-table label below) short-circuit to the
+        unit distribution; subtrees whose canonical key is cached are not
+        traversed at all.
+        """
+        store = self.store
+        assert store is not None
+        keyer = SubtreeKeyer(self.p, self, self.backend)
+        labels = self.p.label_index()
+        table_labels = self._table_labels
+        unit = {0: self._one}
+        memo: dict[int, Distribution] = {}
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            node_id = node.node_id
+            if not expanded:
+                label_set = labels[node_id]
+                if not (table_labels & label_set):
+                    memo[node_id] = unit
+                    continue
+                key = keyer.store_key(node_id, label_set, GATE_UNPINNED)
+                if key is not None:
+                    cached = store.get(key)
+                    if cached is not None:
+                        memo[node_id] = cached
+                        continue
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            distribution = self.combine_unpinned(node, memo)
+            memo[node_id] = distribution
+            key = keyer.store_key(node_id, labels[node_id], GATE_UNPINNED)
+            if key is not None and not store.contains(key):
+                store.put(key, distribution, keyer.weight(node_id, distribution))
             for child in node.children:
                 del memo[child.node_id]
         return memo[self.p.root.node_id]
@@ -531,6 +584,8 @@ class EvaluationEngine:
         Returns the root's pair; ``pinned`` maps each candidate Id to the
         goal-set distribution of the run anchored at that candidate.
         """
+        if self.store is not None:
+            return self._pinned_pass_stored(candidate_set)
         memo: dict[int, tuple[Distribution, dict]] = {}
         stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
         while stack:
@@ -541,6 +596,52 @@ class EvaluationEngine:
                     stack.append((child, False))
                 continue
             memo[node.node_id] = self.combine_pinned(node, memo, candidate_set)
+            for child in node.children:
+                del memo[child.node_id]
+        return memo[self.p.root.node_id]
+
+    def _pinned_pass_stored(
+        self, candidate_set: frozenset
+    ) -> tuple[Distribution, dict]:
+        """Pinned DP consulting/filling the structural memo store.
+
+        Only *blocked* distributions are content-addressable (pinned maps
+        name candidate node Ids — document identity); subtrees holding no
+        candidate are skipped on a store hit, candidate-bearing subtrees
+        are combined normally and contribute their blocked halves.
+        """
+        store = self.store
+        assert store is not None
+        keyer = SubtreeKeyer(self.p, self, self.backend)
+        labels = self.p.label_index()
+        table_labels = self._table_labels
+        live = self.p.ancestral_closure(candidate_set)
+        unit = {0: self._one}
+        memo: dict[int, tuple[Distribution, dict]] = {}
+        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            node_id = node.node_id
+            if not expanded:
+                if node_id not in live:
+                    label_set = labels[node_id]
+                    if not (table_labels & label_set):
+                        memo[node_id] = (unit, {})
+                        continue
+                    key = keyer.store_key(node_id, label_set, GATE_BLOCKED)
+                    if key is not None:
+                        cached = store.get(key)
+                        if cached is not None:
+                            memo[node_id] = (cached, {})
+                            continue
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            entry = self.combine_pinned(node, memo, candidate_set)
+            memo[node_id] = entry
+            key = keyer.store_key(node_id, labels[node_id], GATE_BLOCKED)
+            if key is not None and not store.contains(key):
+                store.put(key, entry[0], keyer.weight(node_id, entry[0]))
             for child in node.children:
                 del memo[child.node_id]
         return memo[self.p.root.node_id]
@@ -659,13 +760,18 @@ def boolean_probability(
     q: TreePattern,
     anchors: Optional[AnchorsLike] = None,
     backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ):
     """``Pr(q matches P)`` — the Boolean-query probability."""
-    return EvaluationEngine(p, [q], anchors, backend).match_probability()
+    return EvaluationEngine(p, [q], anchors, backend, store).match_probability()
 
 
 def node_probability(
-    p: PDocument, q: TreePattern, node_id: int, backend: BackendLike = "exact"
+    p: PDocument,
+    q: TreePattern,
+    node_id: int,
+    backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ):
     """``Pr(n ∈ q(P))`` for a specific ordinary node ``n``.
 
@@ -673,19 +779,23 @@ def node_probability(
     :meth:`EvaluationEngine.answer`) when several nodes are needed.
     """
     return EvaluationEngine(
-        p, [q], {q.out: node_id}, backend
+        p, [q], {q.out: node_id}, backend, store
     ).match_probability()
 
 
 def conditional_node_probability(
-    p: PDocument, q: TreePattern, node_id: int, backend: BackendLike = "exact"
+    p: PDocument,
+    q: TreePattern,
+    node_id: int,
+    backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ):
     """``Pr(n ∈ q(P) | n ∈ P)`` (§5.2)."""
     resolved = get_backend(backend)
     appearance = resolved.convert(p.appearance_probability(node_id))
     if not appearance:
         return resolved.zero
-    return node_probability(p, q, node_id, backend) / appearance
+    return node_probability(p, q, node_id, backend, store) / appearance
 
 
 def query_answer(
@@ -693,6 +803,7 @@ def query_answer(
     q: TreePattern,
     backend: BackendLike = "exact",
     stats: Optional[dict] = None,
+    store: Optional[MemoStore] = None,
 ) -> dict:
     """``q(P̂)``: node Id ↦ probability, for all nodes with probability > 0.
 
@@ -702,9 +813,12 @@ def query_answer(
 
     Args:
         stats: optional instrumentation sink; receives ``node_visits``
-            (DP node visits — equals ``p.size()``) and ``candidates``.
+            (DP node visits — equals ``p.size()`` without a store) and
+            ``candidates``.
+        store: optional structural memo store consulted/filled by the
+            traversal (see :class:`EvaluationEngine`).
     """
-    engine = EvaluationEngine(p, [q], backend=backend)
+    engine = EvaluationEngine(p, [q], backend=backend, store=store)
     candidates = engine.candidate_ids()
     answer = engine.answer(candidates)
     if stats is not None:
@@ -718,10 +832,13 @@ def intersection_node_probability(
     patterns: Sequence[TreePattern],
     node_id: int,
     backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ):
     """``Pr(n ∈ (q1 ∩ ... ∩ qk)(P))`` — joint, correlation-aware."""
     anchors = {q.out: node_id for q in patterns}
-    return EvaluationEngine(p, patterns, anchors, backend).match_probability()
+    return EvaluationEngine(
+        p, patterns, anchors, backend, store
+    ).match_probability()
 
 
 def intersection_answer(
@@ -729,9 +846,10 @@ def intersection_answer(
     patterns: Sequence[TreePattern],
     backend: BackendLike = "exact",
     stats: Optional[dict] = None,
+    store: Optional[MemoStore] = None,
 ) -> dict:
     """``(q1 ∩ ... ∩ qk)(P̂)`` as node Id ↦ probability — single DP pass."""
-    engine = EvaluationEngine(p, patterns, backend=backend)
+    engine = EvaluationEngine(p, patterns, backend=backend, store=store)
     candidates = engine.candidate_ids()
     answer = engine.answer(candidates)
     if stats is not None:

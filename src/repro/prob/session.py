@@ -1,5 +1,5 @@
-"""Workload sessions: batched multi-query evaluation with cross-query
-subtree memoization.
+"""Workload sessions: batched multi-query evaluation with structural,
+store-backed subtree memoization.
 
 Real view-cache workloads ask *many* TP queries against the same
 p-document — exactly the regime where the goal-set DP's per-subtree work
@@ -21,23 +21,35 @@ instead of multiplying (a literal joint distribution over ``k``
 independent queries' goals has support ``∏ sᵢ``; the projections have
 ``Σ sᵢ``).
 
-**Cross-query subtree memoization.**  Per-subtree *blocked* distributions
-(the candidate-free evaluations of the single-pass answer DP) are cached
-under ``(PNode.node_id, goal-table fingerprint)``, where the fingerprint
+**Structural cross-query memoization.**  Per-subtree *blocked*
+distributions (the candidate-free evaluations of the single-pass answer
+DP) are cached in a :class:`repro.store.MemoStore` under the canonical
+``(structural digest, goal-table fingerprint, gate, backend)`` key (see
+:mod:`repro.store.api`): the digest identifies the subtree by *shape*
+(kind, labels, distribution parameters — not node Ids), the fingerprint
 is the query's goal table restricted to the labels occurring in the
-subtree (:meth:`EvaluationEngine.goal_table_fingerprint`).  Restriction
-makes the key *semantic*: two structurally identical queries that differ
-only in labels absent from a subtree fingerprint equally there and share
-one evaluation — in a batch of per-project queries, a person subtree
-holding ``project3`` is evaluated once for ``project3``'s query and once
-for all the others together.  The memo persists across
-``answer_many``/``answer`` calls of the same session, so repeated
-workloads skip every subtree that holds no candidate.
+subtree (:meth:`EvaluationEngine.goal_table_fingerprint`).  Both
+components are semantic, so one entry serves (i) two structurally
+identical queries that differ only in labels absent from the subtree,
+(ii) two *isomorphic subtrees* — of one document, or of a document and
+its probabilistic extensions — already within a single cold pass, and
+(iii) with a shared or persistent store
+(:class:`repro.store.SqliteStore`), other sessions and restarted
+processes.  The default store is a private
+:class:`repro.store.InMemoryStore` whose cost-aware LRU eviction
+(weight = support size × subtree size) keeps expensive hot entries under
+memory pressure instead of the old clear-at-capacity purge.  Anchored
+restrictions pin concrete node Ids (document identity, not structure);
+their entries live in a session-local node-keyed memo instead of the
+store.
 
-**Mutation epochs.**  The memo is invalidated automatically when
-:attr:`repro.pxml.pdocument.PDocument.mutation_epoch` changes (code that
-mutates a p-document in place calls ``mark_mutated()``), and manually via
-:meth:`QuerySession.invalidate`.
+**Mutation epochs.**  When :attr:`repro.pxml.pdocument.PDocument.
+mutation_epoch` changes (code that mutates a p-document in place calls
+``mark_mutated()``), the session re-derives its per-document maps and
+drops the local anchored memo.  The structural store needs no purge:
+mutated subtrees change their digests and simply stop matching, while
+untouched subtrees keep hitting — content addressing makes invalidation
+automatic and minimal.
 
 The session also backs the rewrite layer: plans route their numerator /
 denominator / α-pattern evaluations through
@@ -52,6 +64,14 @@ from typing import Optional, Sequence, Union
 
 from ..probability import BackendLike, NumericBackend, get_backend
 from ..pxml.pdocument import PDocument, PNode
+from ..store import (
+    GATE_BLOCKED,
+    GATE_UNPINNED,
+    InMemoryStore,
+    MemoStore,
+    SubtreeKeyer,
+    fingerprint_digest,
+)
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import TreePattern
 from .engine import AnchorsLike, EvaluationEngine
@@ -65,11 +85,18 @@ BooleanItem = Union[
     tuple,
 ]
 
-# Gate tags for the memo: blocked (output D-goals suppressed) vs unpinned
+# Gate tags for memo keys: blocked (output D-goals suppressed) vs unpinned
 # (output D-goals granted).  A subtree whose label set contains no output
-# label is gate-insensitive and shares one entry (tag None).
-_BLOCKED = "blocked"
-_UNPINNED = "unpinned"
+# label is gate-insensitive and shares one entry (gate None).
+_BLOCKED = GATE_BLOCKED
+_UNPINNED = GATE_UNPINNED
+
+# Sentinel recording a pre-check probe that missed.  The expanded visit
+# then uses a second-*chance* probe (:meth:`QuerySession._memo_reprobe`)
+# instead of a plain ``get``: it can still hit when an earlier query of
+# the same batch filled the identical key at this very node (same-pass
+# cross-query sharing), but a repeated miss is not re-counted.
+_MISS = object()
 
 
 @dataclass
@@ -83,7 +110,7 @@ class SessionStats:
             ``answer_many`` touches each node exactly once no matter how
             many queries the batch holds.
         memo_hits: per-query subtree evaluations answered from the
-            cross-query memo.
+            structural store or the local anchored memo.
         memo_misses: per-query subtree evaluations computed and stored.
         neutral_skips: per-query subtree evaluations short-circuited to
             the unit distribution because the subtree holds no goal-table
@@ -91,7 +118,8 @@ class SessionStats:
         subtree_skips: whole subtrees skipped without traversal because
             every query of the batch was neutral or hit the memo at their
             root.
-        invalidations: memo resets (mutation epochs and manual calls).
+        invalidations: session cache resets (mutation epochs, manual
+            calls, local-memo capacity purges).
     """
 
     traversals: int = 0
@@ -114,11 +142,21 @@ class QuerySession:
         p: the p-document all queries are evaluated against.
         backend: numeric backend name or instance (default ``"exact"``).
         memoize: keep the cross-query subtree memo (default true).
-        memo_limit: entry cap of the memo; reaching it clears the memo
-            (coarse, but bounds memory on unbounded workloads).
+        memo_limit: entry cap.  For the session-owned default store this
+            is its ``max_entries`` (evicted cost-aware, entry by entry);
+            it also caps the local anchored memo (cleared coarsely at
+            capacity, as anchored workloads mint a fresh fingerprint per
+            anchor value).
+        store: a :class:`repro.store.MemoStore` to consult and fill —
+            share one store between sessions (or pass a
+            :class:`repro.store.SqliteStore`) for cross-document and
+            cross-restart reuse.  Default: a private
+            :class:`repro.store.InMemoryStore`.
 
     Attributes:
         stats: cumulative :class:`SessionStats`.
+        store: the structural memo store in use (``None`` iff
+            ``memoize=False``).
     """
 
     def __init__(
@@ -127,16 +165,26 @@ class QuerySession:
         backend: BackendLike = "exact",
         memoize: bool = True,
         memo_limit: int = 1 << 18,
+        store: Optional[MemoStore] = None,
     ) -> None:
         self.p = p
         self.backend: NumericBackend = get_backend(backend)
         self.memoize = memoize
         self.memo_limit = memo_limit
+        if not memoize and store is not None:
+            raise ValueError(
+                "memoize=False is contradictory with an explicit store: "
+                "the store would never be consulted or filled"
+            )
+        self._owns_store = store is None
+        if not memoize:
+            store = None
+        elif store is None:
+            store = InMemoryStore(max_entries=memo_limit)
+        self.store = store
         self.stats = SessionStats()
-        self._memo: dict = {}
-        self._table_ids: dict[tuple, int] = {}
+        self._local: dict = {}
         self._epoch = getattr(p, "mutation_epoch", 0)
-        self._labels_below: Optional[dict[int, frozenset]] = None
         self._world = None
 
     # ------------------------------------------------------------------
@@ -148,7 +196,7 @@ class QuerySession:
         Per-query candidates are read off the shared maximal world; all
         queries' blocked/pinned distributions are then carried through a
         single traversal of the p-document, consulting and filling the
-        cross-query subtree memo.  Equals per-query
+        structural memo store.  Equals per-query
         :meth:`EvaluationEngine.answer` exactly (``exact`` backend) /
         within floating-point error (``fast``).
         """
@@ -159,11 +207,8 @@ class QuerySession:
         engines = [
             EvaluationEngine(self.p, [q], backend=self.backend) for q in queries
         ]
-        world = self._max_world()
-        candidate_sets = [
-            frozenset(evaluate_deterministic(q, world)) for q in queries
-        ]
-        live_sets = [self._live_ancestors(cs) for cs in candidate_sets]
+        candidate_sets = self._candidate_sets(engines, queries)
+        live_sets = [self.p.ancestral_closure(cs) for cs in candidate_sets]
         pinned_maps = self._pinned_batch_pass(engines, candidate_sets, live_sets)
         zero = self.backend.zero
         answers: list[dict] = []
@@ -230,16 +275,31 @@ class QuerySession:
         return self.boolean_probability(q, {q.out: node_id})
 
     def invalidate(self) -> None:
-        """Drop every cached per-subtree distribution (and derived maps)."""
-        self._memo.clear()
-        self._table_ids.clear()
-        self._labels_below = None
+        """Reset the session's caches and every derived document map.
+
+        Drops the local (anchored, node-keyed) memo and bumps the
+        document's mutation epoch so all epoch-tagged derived state
+        (label index, structural digests, identity digest) is re-derived
+        — ``invalidate()`` therefore restores correctness even after an
+        in-place mutation that forgot :meth:`PDocument.mark_mutated`.
+        When the session *owns* its store (none was passed in) the store
+        is cleared too.  A shared store is left intact — its
+        content-addressed entries are valid beyond this session; clear it
+        explicitly via ``session.store.clear()``.
+        """
+        self.p.mark_mutated()
+        self._epoch = self.p.mutation_epoch
+        self._local.clear()
         self._world = None
+        if self._owns_store and self.store is not None:
+            self.store.clear()
         self.stats.invalidations += 1
 
     @property
     def memo_size(self) -> int:
-        return len(self._memo)
+        """Cached subtree entries visible to this session (store + local)."""
+        store_size = len(self.store) if self.store is not None else 0
+        return store_size + len(self._local)
 
     # ------------------------------------------------------------------
     # Shared-pass machinery
@@ -247,84 +307,127 @@ class QuerySession:
     def _refresh(self) -> None:
         epoch = getattr(self.p, "mutation_epoch", 0)
         if epoch != self._epoch:
+            # Structural store entries need no purge: mutated subtrees
+            # change their digests and stop matching, untouched ones keep
+            # hitting.  Only identity-keyed state is dropped.
             self._epoch = epoch
-            self.invalidate()
-        elif len(self._table_ids) >= self.memo_limit:
-            # Anchored workloads mint a fresh fingerprint per anchor value;
-            # bound the interning table alongside the memo.  Only safe
-            # between passes — mid-pass fp caches hold interned ids.
-            self.invalidate()
+            self._local.clear()
+            self._world = None
+            self.stats.invalidations += 1
 
     def _max_world(self):
         if self._world is None:
             self._world = self.p.max_world()
         return self._world
 
-    def _label_sets(self) -> dict[int, frozenset]:
-        """``node_id -> frozenset(ordinary labels in the subtree)``."""
-        if self._labels_below is None:
-            interned: dict[frozenset, frozenset] = {}
-            sets: dict[int, frozenset] = {}
-            stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
-            while stack:
-                node, expanded = stack.pop()
-                if not expanded:
-                    stack.append((node, True))
-                    stack.extend((child, False) for child in node.children)
-                    continue
-                accumulated: set = set()
-                if node.label is not None:
-                    accumulated.add(node.label)
-                for child in node.children:
-                    accumulated |= sets[child.node_id]
-                frozen = frozenset(accumulated)
-                sets[node.node_id] = interned.setdefault(frozen, frozen)
-            self._labels_below = sets
-        return self._labels_below
+    def _candidate_sets(
+        self, engines: list[EvaluationEngine], queries: list[TreePattern]
+    ) -> list[frozenset]:
+        """Per-query candidate Ids, cached in the store per document + table.
 
-    def _live_ancestors(self, candidates: frozenset) -> frozenset:
-        """Node Ids whose subtree contains a candidate (ancestor closure)."""
-        live: set[int] = set()
-        for node_id in candidates:
-            node: Optional[PNode] = self.p.node(node_id)
-            while node is not None and node.node_id not in live:
-                live.add(node.node_id)
-                node = node.parent
-        return frozenset(live)
-
-    def _memo_key(
-        self,
-        engine: EvaluationEngine,
-        fp_cache: dict,
-        node_id: int,
-        labels: dict[int, frozenset],
-        gate: str,
-    ) -> tuple:
-        """``(node_id, goal-table fingerprint id, effective gate)``.
-
-        The fingerprint is interned to a small integer per session so memo
-        keys hash cheaply; gate-insensitive subtrees (no output label
-        below) share one entry across blocked and unpinned evaluations.
-        The fingerprint cache is keyed by the *relevant* label set — the
-        subtree's labels restricted to the engine's goal-table support —
-        which repeats across structurally similar subtrees even when their
-        full label sets differ.
+        Candidates are ``q(max_world)`` — a function of the document and
+        the query's goal table alone — but they *name node Ids*, so the
+        cache key uses :meth:`PDocument.identity_digest` (Id-aware; two
+        isomorphic documents with different Id assignments must not
+        share) plus the full goal-table fingerprint.  A warm store lets a
+        restarted worker skip building the maximal world entirely.
         """
-        relevant = engine.table_labels & labels[node_id]
-        cached = fp_cache.get(relevant)
-        if cached is None:
-            table, out_sensitive = engine.goal_table_fingerprint(relevant)
-            table_id = self._table_ids.setdefault(table, len(self._table_ids))
-            cached = (table_id, out_sensitive)
-            fp_cache[relevant] = cached
-        table_id, out_sensitive = cached
-        return (node_id, table_id, gate if out_sensitive else None)
+        store = self.store
+        if store is None:
+            world = self._max_world()
+            return [
+                frozenset(evaluate_deterministic(q, world)) for q in queries
+            ]
+        document_key = self.p.identity_digest()
+        sets: list[frozenset] = []
+        for engine, query in zip(engines, queries):
+            table, _ = engine.goal_table_fingerprint(engine.table_labels)
+            key = (
+                document_key,
+                fingerprint_digest(table),
+                "candidates",
+                "node-ids",
+            )
+            cached = store.get(key)
+            if cached is not None:
+                sets.append(frozenset(cached))
+                continue
+            candidates = frozenset(
+                evaluate_deterministic(query, self._max_world())
+            )
+            # Recomputation means rebuilding the maximal world and running
+            # the deterministic embedding — O(document) — so weight by
+            # document size, not by the (often tiny) candidate count.
+            store.put(
+                key,
+                {node_id: 1.0 for node_id in candidates},
+                weight=self.p.size(),
+            )
+            sets.append(candidates)
+        return sets
 
-    def _memo_store(self, key: tuple, distribution: dict) -> None:
-        if len(self._memo) >= self.memo_limit:
-            self._memo.clear()
-            self.stats.invalidations += 1
-        self._memo[key] = distribution
+    # ------------------------------------------------------------------
+    # Memo routing: structural store vs local anchored memo
+    # ------------------------------------------------------------------
+    def _memo_token(
+        self, keyer: SubtreeKeyer, node_id: int, label_set: frozenset, gate: str
+    ) -> tuple:
+        """Routing token ``(is_local, key, node_id, keyer)`` for one entry.
+
+        Unanchored restrictions get canonical store keys (shareable by
+        structure); anchored ones fall back to a node-identity key in the
+        session-local memo — an anchor pins a concrete node Id, so the
+        distribution is not transferable to isomorphic subtrees.
+        """
+        fingerprint, out_sensitive, anchored = keyer.describe(label_set)
+        effective = gate if out_sensitive else None
+        if anchored:
+            return (True, (node_id, fingerprint, effective), node_id, keyer)
+        return (
+            False,
+            (keyer.digests[node_id], fingerprint, effective, keyer.backend_name),
+            node_id,
+            keyer,
+        )
+
+    def _memo_get(self, token: tuple) -> Optional[dict]:
+        if token[0]:
+            return self._local.get(token[1])
+        return self.store.get(token[1])  # type: ignore[union-attr]
+
+    def _memo_reprobe(self, token: tuple) -> Optional[dict]:
+        """Second-chance probe after a counted pre-check miss.
+
+        Hits only when an earlier query of the same pass filled the key
+        at this very node (same-pass cross-query sharing); a repeated
+        miss is answered from :meth:`MemoStore.contains` and not counted
+        a second time.
+        """
+        if token[0]:
+            return self._local.get(token[1])
+        store = self.store
+        assert store is not None
+        if store.contains(token[1]):
+            return store.get(token[1])
+        return None
+
+    def _memo_save(self, token: tuple, distribution: dict) -> None:
+        is_local, key, node_id, keyer = token
+        if is_local:
+            if len(self._local) >= self.memo_limit:
+                # Anchored workloads mint a fresh fingerprint per anchor
+                # value; bound this identity-keyed side memo coarsely.
+                self._local.clear()
+                self.stats.invalidations += 1
+            self._local[key] = distribution
+        else:
+            store = self.store
+            assert store is not None
+            # Live-spine entries are recombined every pass without a prior
+            # probe; equal keys mean equal distributions, so skip the
+            # redundant re-store (a disk write per node on SqliteStore).
+            if not store.contains(key):
+                store.put(key, distribution, keyer.weight(node_id, distribution))
 
     def _pinned_batch_pass(
         self,
@@ -342,15 +445,22 @@ class QuerySession:
         the batch is neutral or hits the memo at a subtree root, the
         subtree is not traversed at all.
         """
-        memo = self._memo if self.memoize else None
-        labels = self._label_sets()
+        use_memo = self.store is not None
+        labels = self.p.label_index()
+        keyers = (
+            [SubtreeKeyer(self.p, engine, self.backend) for engine in engines]
+            if use_memo
+            else None
+        )
         unit = {0: self.backend.one}
         count = len(engines)
         indices = range(count)
         table_labels = [engine.table_labels for engine in engines]
         combines = [engine.combine_pinned for engine in engines]
-        fp_caches: list[dict] = [{} for _ in indices]
         entries: list[dict] = [{} for _ in indices]
+        # Pre-check probe results (distribution or _MISS, per query index)
+        # stashed per node so the expanded visit never probes twice.
+        probes: dict[int, list] = {}
         stats = self.stats
         stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
         while stack:
@@ -359,50 +469,58 @@ class QuerySession:
             if not expanded:
                 label_set = labels[node_id]
                 neutral = 0
-                cached_all: Optional[list] = []
+                probed: list = []
+                skip = True
                 for i in indices:
                     if node_id in live_sets[i]:
-                        cached_all = None
+                        skip = False
                         break
                     if not (table_labels[i] & label_set):
-                        cached_all.append(unit)
+                        probed.append(unit)
                         neutral += 1
                         continue
-                    if memo is None:
-                        cached_all = None
+                    if not use_memo:
+                        skip = False
                         break
-                    key = self._memo_key(
-                        engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                    cached = self._memo_get(
+                        self._memo_token(keyers[i], node_id, label_set, _BLOCKED)
                     )
-                    cached = memo.get(key)
                     if cached is None:
-                        cached_all = None
+                        probed.append(_MISS)
+                        skip = False
                         break
-                    cached_all.append(cached)
-                if cached_all is not None:
+                    probed.append(cached)
+                if skip:
                     for i in indices:
-                        entries[i][node_id] = (cached_all[i], {})
+                        entries[i][node_id] = (probed[i], {})
                     stats.memo_hits += count - neutral
                     stats.neutral_skips += neutral
                     stats.subtree_skips += 1
                     continue
+                if probed:
+                    probes[node_id] = probed
                 stack.append((node, True))
                 stack.extend((child, False) for child in node.children)
                 continue
             stats.node_visits += 1
             label_set = labels[node_id]
             children = node.children
+            probed = probes.pop(node_id, ())
             for i in indices:
                 entry_map = entries[i]
                 if node_id not in live_sets[i]:
                     if not (table_labels[i] & label_set):
                         entry_map[node_id] = (unit, {})
                         stats.neutral_skips += 1
-                    elif memo is not None:
-                        key = self._memo_key(
-                            engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                    elif use_memo:
+                        token = self._memo_token(
+                            keyers[i], node_id, label_set, _BLOCKED
                         )
-                        blocked = memo.get(key)
+                        blocked = probed[i] if i < len(probed) else None
+                        if blocked is None:
+                            blocked = self._memo_get(token)
+                        elif blocked is _MISS:
+                            blocked = self._memo_reprobe(token)
                         if blocked is not None:
                             entry_map[node_id] = (blocked, {})
                             stats.memo_hits += 1
@@ -411,7 +529,7 @@ class QuerySession:
                                 node, entry_map, candidate_sets[i]
                             )
                             entry_map[node_id] = (blocked, {})
-                            self._memo_store(key, blocked)
+                            self._memo_save(token, blocked)
                             stats.memo_misses += 1
                     else:
                         entry_map[node_id] = (
@@ -421,11 +539,11 @@ class QuerySession:
                 else:
                     entry = combines[i](node, entry_map, candidate_sets[i])
                     entry_map[node_id] = entry
-                    if memo is not None:
-                        key = self._memo_key(
-                            engines[i], fp_caches[i], node_id, labels, _BLOCKED
+                    if use_memo:
+                        token = self._memo_token(
+                            keyers[i], node_id, label_set, _BLOCKED
                         )
-                        self._memo_store(key, entry[0])
+                        self._memo_save(token, entry[0])
                 for child in children:
                     entry_map.pop(child.node_id, None)
         stats.traversals += 1
@@ -441,13 +559,18 @@ class QuerySession:
         short-circuit, memo consult/fill, subtree skips — without the
         pinned (per-candidate) machinery.
         """
-        memo = self._memo if self.memoize else None
-        labels = self._label_sets()
+        use_memo = self.store is not None
+        labels = self.p.label_index()
+        keyers = (
+            [SubtreeKeyer(self.p, engine, self.backend) for engine in engines]
+            if use_memo
+            else None
+        )
         unit = {0: self.backend.one}
         count = len(engines)
         indices = range(count)
-        fp_caches: list[dict] = [{} for _ in indices]
         entries: list[dict] = [{} for _ in indices]
+        probes: dict[int, list] = {}
         stats = self.stats
         stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
         while stack:
@@ -456,45 +579,55 @@ class QuerySession:
             if not expanded:
                 label_set = labels[node_id]
                 neutral = 0
-                cached_all: Optional[list] = []
+                probed: list = []
+                skip = True
                 for i in indices:
                     if not (engines[i].table_labels & label_set):
-                        cached_all.append(unit)
+                        probed.append(unit)
                         neutral += 1
                         continue
-                    if memo is None:
-                        cached_all = None
+                    if not use_memo:
+                        skip = False
                         break
-                    key = self._memo_key(
-                        engines[i], fp_caches[i], node_id, labels, _UNPINNED
+                    cached = self._memo_get(
+                        self._memo_token(
+                            keyers[i], node_id, label_set, _UNPINNED
+                        )
                     )
-                    cached = memo.get(key)
                     if cached is None:
-                        cached_all = None
+                        probed.append(_MISS)
+                        skip = False
                         break
-                    cached_all.append(cached)
-                if cached_all is not None:
+                    probed.append(cached)
+                if skip:
                     for i in indices:
-                        entries[i][node_id] = cached_all[i]
+                        entries[i][node_id] = probed[i]
                     stats.memo_hits += count - neutral
                     stats.neutral_skips += neutral
                     stats.subtree_skips += 1
                     continue
+                if probed:
+                    probes[node_id] = probed
                 stack.append((node, True))
                 stack.extend((child, False) for child in node.children)
                 continue
             stats.node_visits += 1
             label_set = labels[node_id]
+            probed = probes.pop(node_id, ())
             for i in indices:
                 entry_map = entries[i]
                 if not (engines[i].table_labels & label_set):
                     entry_map[node_id] = unit
                     stats.neutral_skips += 1
-                elif memo is not None:
-                    key = self._memo_key(
-                        engines[i], fp_caches[i], node_id, labels, _UNPINNED
+                elif use_memo:
+                    token = self._memo_token(
+                        keyers[i], node_id, label_set, _UNPINNED
                     )
-                    distribution = memo.get(key)
+                    distribution = probed[i] if i < len(probed) else None
+                    if distribution is None:
+                        distribution = self._memo_get(token)
+                    elif distribution is _MISS:
+                        distribution = self._memo_reprobe(token)
                     if distribution is not None:
                         entry_map[node_id] = distribution
                         stats.memo_hits += 1
@@ -503,7 +636,7 @@ class QuerySession:
                             node, entry_map
                         )
                         entry_map[node_id] = distribution
-                        self._memo_store(key, distribution)
+                        self._memo_save(token, distribution)
                         stats.memo_misses += 1
                 else:
                     entry_map[node_id] = engines[i].combine_unpinned(

@@ -19,6 +19,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..errors import PDocumentError
 from ..probability import ONE, ZERO
+from ..store.digest import compute_index, fingerprint_digest
 from ..xml.document import DocNode, Document
 
 __all__ = ["PNodeKind", "PNode", "PDocument"]
@@ -43,7 +44,10 @@ class PNode:
         parent: parent node or ``None`` for the root.
     """
 
-    __slots__ = ("node_id", "kind", "label", "children", "probabilities", "parent")
+    __slots__ = (
+        "node_id", "kind", "label", "children", "probabilities", "parent",
+        "_digest",
+    )
 
     def __init__(
         self,
@@ -59,6 +63,9 @@ class PNode:
             None if kind is PNodeKind.ORDINARY else {}
         )
         self.parent: Optional[PNode] = None
+        #: Cached ``(mutation_epoch, structural digest, subtree size)``,
+        #: maintained by :meth:`PDocument.structural_index`.
+        self._digest: Optional[tuple] = None
 
     @property
     def is_ordinary(self) -> bool:
@@ -110,6 +117,11 @@ class PDocument:
         self.root = root
         self._index: dict[int, PNode] = {}
         self._mutation_epoch = 0
+        # Epoch-tagged derived indexes, built lazily (see structural_index /
+        # label_index / identity_digest).
+        self._structural_index: Optional[tuple] = None
+        self._label_index: Optional[tuple] = None
+        self._identity_digest: Optional[tuple] = None
         for n in root.iter_subtree():
             if n.node_id in self._index:
                 raise PDocumentError(f"duplicate node Id {n.node_id}")
@@ -226,6 +238,103 @@ class PDocument:
                 return True
             current = current.parent
         return False
+
+    def ancestral_closure(self, node_ids: Iterable[int]) -> frozenset:
+        """Ids of nodes whose subtree contains one of ``node_ids``."""
+        closure: set[int] = set()
+        for node_id in node_ids:
+            current: Optional[PNode] = self.node(node_id)
+            while current is not None and current.node_id not in closure:
+                closure.add(current.node_id)
+                current = current.parent
+        return frozenset(closure)
+
+    # ------------------------------------------------------------------
+    # Structural identity (content-addressed memo keys)
+    # ------------------------------------------------------------------
+    def structural_index(self) -> tuple[dict[int, str], dict[int, int]]:
+        """Per-node structural digests and subtree sizes, cached per epoch.
+
+        The digest (see :mod:`repro.store.digest`) is a Merkle-style hash
+        over node kind, label, child digests and distribution parameters,
+        insensitive to sibling order and to node Ids: two nodes with equal
+        digests root isomorphic p-subtrees defining identical blocked
+        distributions for any goal table restricted to their labels.
+
+        Returns ``(digests, sizes)``, both keyed by ``node_id``.  The
+        result is recomputed lazily after :meth:`mark_mutated`.
+        """
+        cached = self._structural_index
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[1], cached[2]
+        digests, sizes = compute_index(self.root, self._mutation_epoch)
+        self._structural_index = (self._mutation_epoch, digests, sizes)
+        return digests, sizes
+
+    def structural_digest(self, node_id: Optional[int] = None) -> str:
+        """The structural digest of the subtree at ``node_id`` (root default)."""
+        node = self.root if node_id is None else self.node(node_id)
+        cached = node._digest
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[1]
+        return self.structural_index()[0][node.node_id]
+
+    @property
+    def document_digest(self) -> str:
+        """The whole-document structural digest (root subtree digest)."""
+        return self.structural_digest()
+
+    def identity_digest(self) -> str:
+        """Digest of the Id-*aware* canonical form, cached per epoch.
+
+        Unlike :attr:`document_digest` (which deliberately forgets node
+        Ids so isomorphic subtrees coincide), this digest changes when
+        node Ids are reassigned.  It keys derived data that *names* node
+        Ids — e.g. cached candidate sets — where two isomorphic documents
+        with different Id assignments must not share.
+        """
+        cached = self._identity_digest
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[1]
+        digest = fingerprint_digest(self.canonical_key(with_ids=True))
+        self._identity_digest = (self._mutation_epoch, digest)
+        return digest
+
+    def subtree_size(self, node_id: int) -> int:
+        """Number of nodes (ordinary and distributional) under ``node_id``."""
+        node = self.node(node_id)
+        cached = node._digest
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[2]
+        return self.structural_index()[1][node_id]
+
+    def label_index(self) -> dict[int, frozenset]:
+        """``node_id -> frozenset(ordinary labels in the subtree)``.
+
+        Label sets are interned (subtrees with equal label sets share one
+        frozenset object) and the whole map is cached per mutation epoch.
+        """
+        cached = self._label_index
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[1]
+        interned: dict[frozenset, frozenset] = {}
+        sets: dict[int, frozenset] = {}
+        stack: list[tuple[PNode, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if not expanded:
+                stack.append((node, True))
+                stack.extend((child, False) for child in node.children)
+                continue
+            accumulated: set = set()
+            if node.label is not None:
+                accumulated.add(node.label)
+            for child in node.children:
+                accumulated |= sets[child.node_id]
+            frozen = frozenset(accumulated)
+            sets[node.node_id] = interned.setdefault(frozen, frozen)
+        self._label_index = (self._mutation_epoch, sets)
+        return sets
 
     # ------------------------------------------------------------------
     # Derived structures

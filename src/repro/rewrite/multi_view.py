@@ -25,6 +25,7 @@ from typing import Mapping, Optional, Sequence
 
 from ..errors import RewritingError
 from ..probability import BackendLike, get_backend
+from ..store import MemoStore
 from ..tp import ops
 from ..tp.containment import contains
 from ..tp.pattern import TreePattern
@@ -92,6 +93,7 @@ def theorem3_plan(
     extensions: Extensions,
     check_equivalence: bool = True,
     backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ) -> Optional[TPIRewritePlan]:
     """Build Theorem 3's probabilistic TP∩-rewriting, if its conditions hold.
 
@@ -121,7 +123,7 @@ def theorem3_plan(
         return None  # not a deterministic rewriting
     oracles = {}
     for member in normalized:
-        oracle = _theorem3_oracle(member, q, extensions, backend)
+        oracle = _theorem3_oracle(member, q, extensions, backend, store)
         if oracle is None:
             return None  # compensated member fails §4's conditions
         oracles[member.name] = oracle
@@ -157,11 +159,14 @@ def _theorem3_oracle(
     q: TreePattern,
     extensions: Extensions,
     backend: BackendLike,
+    store: Optional[MemoStore] = None,
 ):
     extension = extensions[member.base.name]
     if member.compensation_depth is None:
         return _selection_oracle(extension, backend)
-    plan = probabilistic_tp_plan(member.unfolded(q), member.base, backend=backend)
+    plan = probabilistic_tp_plan(
+        member.unfolded(q), member.base, backend=backend, store=store
+    )
     if plan is None:
         return None
 
@@ -274,6 +279,7 @@ def tpi_rewrite(
     extensions: Extensions,
     interleaving_limit: Optional[int] = None,
     backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ) -> Optional[TPIRewritePlan]:
     """``TPIrewrite`` (Figure 7): the canonical probabilistic TP∩-rewriting.
 
@@ -299,7 +305,7 @@ def tpi_rewrite(
         return None
     oracles = {}
     for member in computable:
-        oracles[member.tag] = _member_oracle(member, extensions, backend)
+        oracles[member.tag] = _member_oracle(member, extensions, backend, store)
     exponents = {tag: coefficient for tag, coefficient in certificate.items()}
 
     def candidates() -> list[int]:
@@ -324,13 +330,18 @@ def tpi_rewrite(
 
 
 def _member_oracle(
-    member: _PlanMember, extensions: Extensions, backend: BackendLike = "exact"
+    member: _PlanMember,
+    extensions: Extensions,
+    backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ):
     """``Pr(n ∈ u_i(P))`` from the member's base-view extension only."""
     extension = extensions[member.base.name]
     if member.compensation_depth is None:
         return _selection_oracle(extension, backend)
-    plan = probabilistic_tp_plan(member.unfolded, member.base, backend=backend)
+    plan = probabilistic_tp_plan(
+        member.unfolded, member.base, backend=backend, store=store
+    )
     if plan is None:  # pragma: no cover - guarded by membership in V″
         raise RewritingError(f"member {member.tag} is not probability-computable")
 

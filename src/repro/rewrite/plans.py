@@ -33,6 +33,7 @@ from ..errors import RewritingError
 from ..probability import BackendLike, ZERO, as_fraction, get_backend
 from ..prob.engine import boolean_probability
 from ..prob.session import QuerySession
+from ..store import MemoStore
 from ..tp import ops
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
@@ -64,6 +65,12 @@ class TPRewritePlan:
         backend: numeric backend the probability function computes in
             (``"exact"`` keeps Theorem 1/2's quotients bit-exact; ``"fast"``
             trades exactness for float throughput).
+        store: optional :class:`repro.store.MemoStore` threaded into every
+            session and engine the plan spawns over extension documents
+            and their subdocuments — with a store shared with the base
+            document (as :class:`repro.cache.RewritingCache` does),
+            isomorphic subtrees of the document and its extensions share
+            one evaluation.
     """
 
     query: TreePattern
@@ -74,6 +81,7 @@ class TPRewritePlan:
     restricted: bool
     u: int
     backend: BackendLike = "exact"
+    store: Optional[MemoStore] = None
     # Per-extension evaluation caches, single-slot keyed on the extension's
     # identity (all entries are derived from one extension's p-document and
     # must never leak to another): the session over the extension document
@@ -133,7 +141,11 @@ class TPRewritePlan:
         if cached is None or cached[0] is not extension:
             cached = (
                 extension,
-                QuerySession(extension.pdocument, backend=self.backend),
+                QuerySession(
+                    extension.pdocument,
+                    backend=self.backend,
+                    store=self.store,
+                ),
                 {},
                 {},
             )
@@ -201,6 +213,7 @@ class TPRewritePlan:
                 extension.result_subdocument(holder),
                 out_token_node,
                 backend=backend,
+                store=self.store,
             )
         return denominators[key]
 
@@ -265,7 +278,9 @@ class TPRewritePlan:
         session = sub_sessions.get(key)
         if session is None:
             session = sub_sessions[key] = QuerySession(
-                extension.result_subdocument(top), backend=self.backend
+                extension.result_subdocument(top),
+                backend=self.backend,
+                store=self.store,
             )
         return session
 

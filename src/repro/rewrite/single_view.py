@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..probability import BackendLike
+from ..store import MemoStore
 from ..tp import ops
 from ..tp.containment import contains, equivalent
 from ..tp.pattern import TreePattern
@@ -78,14 +79,18 @@ def find_deterministic_tp_rewriting(
 
 
 def probabilistic_tp_plan(
-    q: TreePattern, view: View, backend: BackendLike = "exact"
+    q: TreePattern,
+    view: View,
+    backend: BackendLike = "exact",
+    store: Optional[MemoStore] = None,
 ) -> Optional[TPRewritePlan]:
     """Build the probabilistic TP-rewriting of ``q`` over one view, if any.
 
     Implements the per-view body of ``TPrewrite`` (Figure 6); returns
     ``None`` when any condition fails.  The decision procedure is purely
-    syntactic; ``backend`` only parameterizes the numeric domain the
-    returned plan's ``f_r`` computes in.
+    syntactic; ``backend`` and ``store`` only parameterize the numeric
+    domain and the structural memo store the returned plan's ``f_r``
+    computes with.
     """
     v = view.pattern
     if not fact1_holds(q, v):
@@ -110,6 +115,7 @@ def probabilistic_tp_plan(
         restricted=restricted,
         u=u,
         backend=backend,
+        store=store,
     )
 
 

@@ -1,0 +1,121 @@
+"""The memo-store API: content-addressed caching of subtree distributions.
+
+A *memo store* maps canonical keys to goal-set distributions (the
+per-subtree blocked / unpinned evaluations of :mod:`repro.prob.engine`).
+Keys are 4-tuples
+
+    ``(structure, fingerprint, gate, backend)``
+
+* ``structure`` — the structural digest of the p-subtree
+  (:meth:`repro.pxml.pdocument.PDocument.structural_digest`): node kinds,
+  labels, distribution parameters, order-insensitive, node-Id-free;
+* ``fingerprint`` — the digest of the evaluating engine's goal table
+  restricted to the labels occurring in the subtree
+  (:meth:`repro.prob.engine.EvaluationEngine.goal_table_fingerprint`
+  hashed by :func:`repro.store.digest.fingerprint_digest`);
+* ``gate`` — :data:`GATE_BLOCKED` / :data:`GATE_UNPINNED`, or ``None``
+  when the restriction holds no output-node entry and the two evaluations
+  coincide;
+* ``backend`` — the numeric backend name (``"exact"`` / ``"fast"``):
+  distributions live in the backend's value domain and must not mix.
+
+Equal keys imply equal distributions (bit-identical on the ``exact``
+backend; up to summation order on ``fast``), so entries may be shared
+across queries with equal restricted tables, across isomorphic subtrees
+of one document or of a document and its probabilistic extensions, and —
+through :class:`repro.store.sqlite.SqliteStore` — across process
+restarts.  No document identity enters a subtree key: those entries form
+a pure content-addressed function table.
+
+One deliberate exception rides in the same store:
+:class:`repro.prob.session.QuerySession` caches per-query *candidate-Id
+sets* under ``(identity digest, full-table fingerprint, "candidates",
+"node-ids")``.  Those values name node Ids, so their first component is
+the Id-*aware* :meth:`~repro.pxml.pdocument.PDocument.identity_digest`
+(two isomorphic documents with different Id assignments never share
+them), and the payload is the ``{node_id: 1.0}`` indicator map.
+
+Every ``put`` carries a *weight* — by convention the distribution's
+support size times the subtree size, an estimate of the recomputation
+cost the entry saves — which cost-aware eviction policies
+(:class:`repro.store.memory.InMemoryStore`) use to decide what survives
+memory pressure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+__all__ = ["GATE_BLOCKED", "GATE_UNPINNED", "StoreKey", "MemoStore"]
+
+#: Gate tag: output-node D-goals suppressed (the "blocked" evaluations of
+#: the single-pass answer DP).
+GATE_BLOCKED = "blocked"
+#: Gate tag: output-node D-goals granted normally (Boolean / anchored runs).
+GATE_UNPINNED = "unpinned"
+
+#: ``(structure, fingerprint, Optional[gate], backend)``.
+StoreKey = tuple
+
+
+class MemoStore(ABC):
+    """Abstract memo store; see the module docstring for key semantics.
+
+    Implementations are single-process, single-thread consumers of the
+    hot evaluation path: ``get`` / ``put`` must be cheap.  Distributions
+    are immutable by convention (the engine never mutates a distribution
+    after building it), so stores hand out the cached object itself.
+
+    Attributes:
+        hits / misses / puts / evictions: cumulative counters, also
+            surfaced by :meth:`stats`.
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    @abstractmethod
+    def get(self, key: StoreKey) -> Optional[dict]:
+        """The cached distribution for ``key``, or ``None``."""
+
+    @abstractmethod
+    def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
+        """Cache ``distribution`` under ``key`` with recomputation ``weight``."""
+
+    @abstractmethod
+    def contains(self, key: StoreKey) -> bool:
+        """Whether ``key`` is cached — no hit/miss counting, no LRU touch.
+
+        Writers use this to skip redundant ``put`` calls: equal keys map
+        to equal distributions, so re-storing a present entry is wasted
+        work (for persistent stores, a wasted disk write per node).
+        """
+
+    @abstractmethod
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of cached entries."""
+
+    def stats(self) -> dict:
+        """Counters plus implementation-specific gauges."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "entries": len(self),
+        }
+
+    def flush(self) -> None:
+        """Make pending writes durable (no-op for purely in-memory stores)."""
+
+    def close(self) -> None:
+        """Flush and release resources; the store degrades to memory-only."""
+        self.flush()

@@ -1,0 +1,105 @@
+"""Canonical structural digests for p-document subtrees.
+
+The digest of a subtree is a Merkle-style hash over everything the
+goal-set dynamic program of :mod:`repro.prob.engine` reads below a node:
+the node kind, its label (for ordinary nodes), and — recursively — the
+digests of its children paired with their edge probabilities (for
+distributional nodes).  Children are hashed as a *sorted multiset*:
+p-documents are unordered and every combine step of the DP (union
+convolution, ind mixtures, mux sums) is commutative, so two subtrees
+with equal digests produce identical blocked / unpinned distributions
+for any goal table restricted to their labels.  That is the soundness
+argument behind content-addressed memo sharing (compare the
+structure-based tractability results of Amarilli et al. on treelike
+uncertain data): work is keyed by subtree *shape*, not by node identity,
+so isomorphic subtrees — within one document, between a document and its
+probabilistic extensions, or across process restarts — share one
+evaluation.
+
+Digests are cached on :class:`repro.pxml.pdocument.PNode` (the
+``_digest`` slot, tagged with the owning document's ``mutation_epoch``)
+and recomputed lazily after :meth:`PDocument.mark_mutated`.  This module
+is deliberately ignorant of the pxml classes — it reads ``kind`` /
+``label`` / ``children`` / ``probabilities`` duck-typed, so the store
+package never imports the document layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["DIGEST_SIZE", "compute_index", "fingerprint_digest"]
+
+#: Digest width in bytes (blake2b); 128 bits make collisions negligible
+#: even for stores holding billions of subtree entries.
+DIGEST_SIZE = 16
+
+# Field / sibling separators for the hashed payload.  Labels are parsed
+# tokens and never contain control characters, so the encoding is
+# prefix-free in practice.
+_FIELD = b"\x1f"
+_SIBLING = b"\x1e"
+
+
+def _hash(payload: bytes) -> str:
+    return hashlib.blake2b(payload, digest_size=DIGEST_SIZE).hexdigest()
+
+
+def fingerprint_digest(table: tuple) -> str:
+    """Digest a canonical goal-table fingerprint.
+
+    ``table`` is the nested tuple returned by
+    :meth:`repro.prob.engine.EvaluationEngine.goal_table_fingerprint` —
+    strings, ints, bools and ``None`` only, whose ``repr`` is identical
+    across processes — so the digest is a stable cross-restart key
+    component.
+    """
+    return _hash(repr(table).encode("utf-8"))
+
+
+def compute_index(root, epoch: int) -> tuple[dict[int, str], dict[int, int]]:
+    """Structural digests and subtree sizes for every node under ``root``.
+
+    One iterative post-order pass; every visited node's ``_digest`` slot
+    is stamped with ``(epoch, digest, size)`` so subsequent single-node
+    lookups are O(1) until the document mutates.
+
+    Returns ``(digests, sizes)`` keyed by ``node_id``.
+    """
+    digests: dict[int, str] = {}
+    sizes: dict[int, int] = {}
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((child, False) for child in node.children)
+            continue
+        probabilities = node.probabilities
+        if probabilities is None:  # ordinary node
+            entries = sorted(
+                digests[child.node_id].encode("ascii")
+                for child in node.children
+            )
+            payload = _FIELD.join(
+                (b"ordinary", node.label.encode("utf-8"), _SIBLING.join(entries))
+            )
+        else:  # distributional: the edge probability is part of the child entry
+            entries = sorted(
+                b"%s:%s"
+                % (
+                    digests[child.node_id].encode("ascii"),
+                    str(probabilities[child.node_id]).encode("ascii"),
+                )
+                for child in node.children
+            )
+            payload = _FIELD.join(
+                (node.kind.value.encode("ascii"), _SIBLING.join(entries))
+            )
+        digest = _hash(payload)
+        size = 1 + sum(sizes[child.node_id] for child in node.children)
+        node_id = node.node_id
+        digests[node_id] = digest
+        sizes[node_id] = size
+        node._digest = (epoch, digest, size)
+    return digests, sizes

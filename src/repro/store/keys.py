@@ -1,0 +1,93 @@
+"""Store-key derivation shared by the engine and session layers.
+
+A :class:`SubtreeKeyer` binds one evaluation (an
+:class:`~repro.prob.engine.EvaluationEngine` over one p-document and one
+numeric backend) and produces the canonical content-addressed keys of
+:mod:`repro.store.api` for its subtree evaluations:
+
+* the *structure* component comes from the document's cached
+  :meth:`~repro.pxml.pdocument.PDocument.structural_index`;
+* the *fingerprint* component is the engine's goal table restricted to
+  the subtree's labels, hashed — cached per relevant-label set, which
+  repeats heavily across subtrees;
+* the *gate* collapses to ``None`` for restrictions without output-node
+  entries (blocked and unpinned evaluations coincide there).
+
+**Anchored restrictions are never given store keys.**  An anchor pins a
+pattern node to a concrete document node *Id* — document identity, not
+structure — so a distribution computed under an anchored table is only
+valid for the one subtree it was computed in (an isomorphic subtree
+elsewhere does not contain the pinned node).  :meth:`SubtreeKeyer.
+store_key` returns ``None`` for those; callers either skip caching
+(engine) or fall back to a session-local, node-keyed memo
+(:class:`repro.prob.session.QuerySession`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .api import StoreKey
+from .digest import fingerprint_digest
+
+__all__ = ["SubtreeKeyer"]
+
+
+class SubtreeKeyer:
+    """Canonical store keys for one engine's subtree evaluations.
+
+    Args:
+        p: the p-document being traversed.
+        engine: the evaluating engine (supplies ``table_labels`` and
+            ``goal_table_fingerprint``).
+        backend: the numeric backend (its ``name`` enters every key).
+    """
+
+    __slots__ = (
+        "digests", "sizes", "backend_name", "table_labels",
+        "_fingerprint", "_described",
+    )
+
+    def __init__(self, p, engine, backend) -> None:
+        self.digests, self.sizes = p.structural_index()
+        self.backend_name = backend.name
+        self.table_labels = engine.table_labels
+        self._fingerprint = engine.goal_table_fingerprint
+        # relevant-label frozenset -> (fp digest, out_sensitive, anchored)
+        self._described: dict[frozenset, tuple] = {}
+
+    def describe(self, label_set: frozenset) -> tuple:
+        """``(fingerprint digest, out_sensitive, anchored)`` for a subtree
+        whose ordinary labels are ``label_set`` (cached per restriction)."""
+        relevant = self.table_labels & label_set
+        entry = self._described.get(relevant)
+        if entry is None:
+            table, out_sensitive = self._fingerprint(relevant)
+            anchored = any(
+                item[3] is not None
+                for _, entries in table
+                for item in entries
+            )
+            entry = (fingerprint_digest(table), out_sensitive, anchored)
+            self._described[relevant] = entry
+        return entry
+
+    def store_key(
+        self, node_id: int, label_set: frozenset, gate: str
+    ) -> Optional[StoreKey]:
+        """The store key for the subtree at ``node_id`` under ``gate``,
+        or ``None`` when the restricted table is anchored (not shareable
+        by structure)."""
+        fingerprint, out_sensitive, anchored = self.describe(label_set)
+        if anchored:
+            return None
+        return (
+            self.digests[node_id],
+            fingerprint,
+            gate if out_sensitive else None,
+            self.backend_name,
+        )
+
+    def weight(self, node_id: int, distribution: dict) -> int:
+        """Recomputation-cost estimate: support size × subtree size."""
+        return len(distribution) * self.sizes[node_id]

@@ -1,0 +1,333 @@
+"""File-backed (SQLite) memo store: subtree distributions that survive
+process restarts.
+
+Entries are the same content-addressed ``(structure, fingerprint, gate,
+backend)`` records as :class:`repro.store.memory.InMemoryStore` holds,
+persisted in a single ``memo`` table so a restarted worker — or a
+different worker pointed at the same file — starts with every previously
+computed subtree distribution already available ("warm-from-disk"; see
+``benchmarks/bench_store.py``).
+
+**Payload codec.**  Distributions are JSON: exact (:class:`Fraction`)
+values as ``"num/den"`` strings, ``fast`` floats as JSON numbers, goal
+masks as arbitrary-precision ints — version-tagged so a future format
+change degrades to a cache miss rather than a wrong answer.  Entries
+whose values are neither ``Fraction`` nor ``float`` (a custom backend's
+domain) are kept in memory but not persisted.
+
+**Read caching.**  Decoded entries are cached in memory write-through.
+By default the whole table is decoded on first access (``preload=True``)
+— memo tables are tiny next to the evaluation work they encode, and one
+bulk ``SELECT`` is far cheaper than per-subtree point lookups on the hot
+path.  Pass ``preload=False`` for very large shared stores to fall back
+to per-key lookups; note this bounds *startup* cost only — the read
+cache still grows with the entries actually touched (the working set),
+so a worker that sweeps an entire huge store should recycle the store
+instance (or front it with an :class:`~repro.store.memory.InMemoryStore`
+tier) to bound steady-state memory.
+
+**Degradation, not failure.**  A corrupt, unreadable or write-locked
+store file must never break query evaluation: every SQLite error demotes
+the store to memory-only operation with a :class:`RuntimeWarning`
+(``degraded`` is set), keeping results correct and merely losing
+persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import warnings
+from fractions import Fraction
+from typing import Optional, Union
+
+from .api import MemoStore, StoreKey
+
+__all__ = ["SqliteStore", "open_store"]
+
+_PAYLOAD_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS memo (
+    structure   TEXT NOT NULL,
+    fingerprint TEXT NOT NULL,
+    gate        TEXT NOT NULL,
+    backend     TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    weight      INTEGER NOT NULL DEFAULT 1,
+    PRIMARY KEY (structure, fingerprint, gate, backend)
+)
+"""
+
+
+def _encode(distribution: dict) -> Optional[str]:
+    """JSON payload for a distribution, or ``None`` if not serializable.
+
+    Exact values travel as ``[numerator, denominator]`` pairs (faster to
+    revive than ``"num/den"`` strings — decode speed is what bounds the
+    warm-from-disk preload), floats as plain JSON numbers.
+    """
+    items = []
+    for mask, value in distribution.items():
+        if isinstance(value, Fraction):
+            items.append((mask, (value.numerator, value.denominator)))
+        elif isinstance(value, float):
+            items.append((mask, value))
+        else:
+            return None
+    return json.dumps({"v": _PAYLOAD_VERSION, "d": items})
+
+
+def _decode(payload: str) -> dict:
+    """Inverse of :func:`_encode`; raises ``ValueError`` on foreign data."""
+    data = json.loads(payload)
+    if not isinstance(data, dict) or data.get("v") != _PAYLOAD_VERSION:
+        raise ValueError(f"unsupported memo payload version: {payload[:40]!r}")
+    return {
+        int(mask): Fraction(*value) if isinstance(value, list) else float(value)
+        for mask, value in data["d"]
+    }
+
+
+class SqliteStore(MemoStore):
+    """Persistent memo store over a single SQLite file.
+
+    Args:
+        path: the store file (created if missing).
+        preload: decode the whole table into memory on first access.
+        commit_every: pending writes accumulated before an implicit
+            commit; :meth:`flush`/:meth:`close` always commit.
+
+    Attributes:
+        degraded: true once persistence failed and the store fell back
+            to memory-only operation (a warning was emitted).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "object"],
+        preload: bool = True,
+        commit_every: int = 256,
+    ) -> None:
+        super().__init__()
+        self.path = str(path)
+        self.preload = preload
+        self.commit_every = commit_every
+        self.degraded = False
+        self._cache: dict[StoreKey, dict] = {}
+        self._complete = False  # cache mirrors the whole table
+        self._pending = 0
+        self._conn: Optional[sqlite3.Connection] = None
+        try:
+            conn = sqlite3.connect(self.path)
+            conn.execute(_SCHEMA)
+            conn.commit()
+            self._conn = conn
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+
+    # ------------------------------------------------------------------
+    # MemoStore interface
+    # ------------------------------------------------------------------
+    def get(self, key: StoreKey) -> Optional[dict]:
+        if self.preload and not self._complete:
+            self._preload()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        if self._complete or self._conn is None:
+            self.misses += 1
+            return None
+        row = self._execute(
+            "SELECT payload FROM memo WHERE structure = ? AND fingerprint = ?"
+            " AND gate = ? AND backend = ?",
+            self._row_key(key),
+        )
+        row = row.fetchone() if row is not None else None
+        if row is not None:
+            try:
+                distribution = _decode(row[0])
+            except (ValueError, TypeError, KeyError):
+                # Foreign/undecodable payload: treat as a miss AND drop the
+                # row, so ``contains`` agrees and the next computation's
+                # ``put`` repairs the entry instead of being skipped.
+                distribution = None
+                self._execute(
+                    "DELETE FROM memo WHERE structure = ? AND fingerprint = ?"
+                    " AND gate = ? AND backend = ?",
+                    self._row_key(key),
+                )
+            if distribution is not None:
+                self._cache[key] = distribution
+                self.hits += 1
+                return distribution
+        self.misses += 1
+        return None
+
+    def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
+        if self.preload and not self._complete:
+            self._preload()
+        self.puts += 1
+        self._cache[key] = distribution
+        if self._conn is None:
+            return
+        payload = _encode(distribution)
+        if payload is None:
+            return  # non-serializable backend domain: memory-only entry
+        self._execute(
+            "INSERT OR REPLACE INTO memo"
+            " (structure, fingerprint, gate, backend, payload, weight)"
+            " VALUES (?, ?, ?, ?, ?, ?)",
+            self._row_key(key) + (payload, max(1, int(weight))),
+        )
+        self._pending += 1
+        if self._pending >= self.commit_every:
+            self.flush()
+
+    def contains(self, key: StoreKey) -> bool:
+        if self.preload and not self._complete:
+            self._preload()
+        if key in self._cache:
+            return True
+        if self._complete or self._conn is None:
+            return False
+        row = self._execute(
+            "SELECT 1 FROM memo WHERE structure = ? AND fingerprint = ?"
+            " AND gate = ? AND backend = ?",
+            self._row_key(key),
+        )
+        return row is not None and row.fetchone() is not None
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._complete = self._conn is None
+        if self._conn is not None:
+            self._execute("DELETE FROM memo")
+            self.flush()
+
+    def __len__(self) -> int:
+        """Entries visible to :meth:`get`.
+
+        In preloading mode (the default) the whole table is decoded
+        first, so the count is the same whichever access path ran before
+        — undecodable foreign rows are excluded.  In lazy mode the count
+        is approximate: the larger of the raw row count and the cache
+        size, which over-counts foreign payloads and under-counts
+        memory-only (non-serializable) entries coexisting with persisted
+        rows.
+        """
+        if self.preload and not self._complete:
+            self._preload()
+        if self._conn is None or self._complete:
+            return len(self._cache)
+        row = self._execute("SELECT COUNT(*) FROM memo")
+        if row is None:
+            return len(self._cache)
+        return max(row.fetchone()[0], len(self._cache))
+
+    def stats(self) -> dict:
+        gauges = super().stats()
+        weight = None
+        if self._conn is not None:
+            row = self._execute("SELECT COALESCE(SUM(weight), 0) FROM memo")
+            if row is not None:
+                weight = row.fetchone()[0]
+        gauges.update(
+            kind="sqlite",
+            path=self.path,
+            degraded=self.degraded,
+            cached_entries=len(self._cache),
+            weight=weight,
+        )
+        return gauges
+
+    def flush(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._degrade(exc)
+                return
+            self._pending = 0
+
+    def close(self) -> None:
+        """Commit and detach from the file; the store stays usable in memory."""
+        self.flush()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+            self._complete = True  # only the cache remains visible
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _row_key(key: StoreKey) -> tuple:
+        structure, fingerprint, gate, backend = key
+        return (structure, fingerprint, gate or "", backend)
+
+    def _execute(self, sql: str, parameters: tuple = ()):
+        assert self._conn is not None
+        try:
+            return self._conn.execute(sql, parameters)
+        except sqlite3.Error as exc:
+            self._degrade(exc)
+            return None
+
+    def _preload(self) -> None:
+        self._complete = True
+        if self._conn is None:
+            return
+        rows = self._execute(
+            "SELECT structure, fingerprint, gate, backend, payload FROM memo"
+        )
+        if rows is None:
+            return
+        try:
+            for structure, fingerprint, gate, backend, payload in rows:
+                key = (structure, fingerprint, gate or None, backend)
+                if key in self._cache:
+                    continue
+                try:
+                    self._cache[key] = _decode(payload)
+                except (ValueError, TypeError, KeyError):
+                    continue  # foreign payloads degrade to misses
+        except sqlite3.Error as exc:  # corruption discovered mid-scan
+            self._degrade(exc)
+
+    def _degrade(self, exc: sqlite3.Error) -> None:
+        """Fall back to memory-only operation, keeping evaluation alive."""
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - best-effort cleanup
+                pass
+            self._conn = None
+        self._pending = 0
+        if not self.degraded:
+            self.degraded = True
+            warnings.warn(
+                f"memo store {self.path!r} is unusable ({exc}); continuing "
+                "without persistence (in-memory only)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "degraded" if self.degraded else (
+            "closed" if self._conn is None else "open"
+        )
+        return f"SqliteStore(path={self.path!r}, {state})"
+
+
+def open_store(path: Optional[str] = None, **kwargs) -> MemoStore:
+    """``SqliteStore(path)`` when a path is given, else an ``InMemoryStore``.
+
+    Keyword arguments are forwarded to the chosen constructor.
+    """
+    if path is None:
+        from .memory import InMemoryStore
+
+        return InMemoryStore(**kwargs)
+    return SqliteStore(path, **kwargs)

@@ -13,10 +13,11 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Optional, Sequence
+from fractions import Fraction
+from typing import Callable, Optional, Sequence
 
 from ..pxml.builder import ind, mux, ordinary, pdoc
-from ..pxml.pdocument import PDocument, PNode
+from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..tp import ops
 from ..tp.parser import parse_pattern
 from ..tp.pattern import Axis, PatternNode, TreePattern
@@ -30,6 +31,7 @@ __all__ = [
     "personnel_query",
     "personnel_views",
     "batch_workload",
+    "churn_workload",
     "chain_query",
     "chain_views",
     "adversarial_intersection",
@@ -236,6 +238,66 @@ def batch_workload(
     p = pdoc(ordinary(1, "IT-personnel", *people))
     queries = [personnel_query(f"project{j}") for j in range(projects)]
     return p, queries
+
+
+def churn_workload(
+    persons: int,
+    projects: int = 4,
+    rounds: int = 3,
+    seed: int = 0,
+) -> tuple[PDocument, list[tuple[str, object]]]:
+    """A mutating workload: query batches interleaved with in-place edits.
+
+    Models a long-lived session over a document that keeps changing under
+    it — the regime that exercises ``PDocument.mutation_epoch``-driven
+    invalidation of structural digests and memo entries.  Built on
+    :func:`batch_workload`; returns ``(p, steps)`` where each step is
+
+    * ``("queries", [TreePattern, ...])`` — evaluate the per-project
+      batch (through a session, a cache, or per-query calls), or
+    * ``("mutate", mutate)`` — ``mutate()`` edits the document in place
+      and bumps the mutation epoch.  Each round alternates two edit
+      kinds: scaling a mux child probability by 3/4 (changes answer
+      probabilities *and* the digests on the mutated path) and bumping a
+      bonus-amount label (changes digests only — answers must stay put).
+
+    Drivers replay the steps in order and can check, after every batch,
+    that session/store answers equal fresh store-free evaluation.
+    """
+    p, queries = batch_workload(persons, projects=projects, seed=seed)
+    rng = random.Random(seed + 1)
+    muxes = sorted(
+        (n for n in p.nodes() if n.kind is PNodeKind.MUX),
+        key=lambda n: n.node_id,
+    )
+    amounts = sorted(
+        (n for n in p.ordinary_nodes() if n.label is not None and n.label.isdigit()),
+        key=lambda n: n.node_id,
+    )
+
+    def scale_probability(target: PNode) -> Callable[[], None]:
+        def mutate() -> None:
+            child = target.children[0]
+            assert target.probabilities is not None
+            target.probabilities[child.node_id] *= Fraction(3, 4)
+            p.mark_mutated()
+
+        return mutate
+
+    def bump_amount(target: PNode) -> Callable[[], None]:
+        def mutate() -> None:
+            target.label = str(int(target.label) + 1)
+            p.mark_mutated()
+
+        return mutate
+
+    steps: list[tuple[str, object]] = [("queries", queries)]
+    for _ in range(rounds):
+        steps.append(("mutate", scale_probability(rng.choice(muxes))))
+        steps.append(("queries", queries))
+        steps.append(("mutate", bump_amount(rng.choice(amounts))))
+        steps.append(("queries", queries))
+    return p, steps
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Property tests for structural-store memoization.
+
+The ISSUE-3 acceptance bar: session results with structural-store
+memoization equal store-free sequential evaluation — exactly on the
+``exact`` backend, within ``1e-9`` on ``fast`` — on random p-documents
+and query batches, with the store *shared across two different random
+documents* (where an unsound structural key would leak a distribution
+between lookalike subtrees), and across interleaved in-place mutations
+that must invalidate digests and memo entries.
+"""
+
+import random
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.prob import QuerySession, query_answer
+from repro.pxml.pdocument import PDocument
+from repro.store import InMemoryStore, SqliteStore
+from repro.workloads.synthetic import (
+    churn_workload,
+    random_pdocument,
+    random_tree_pattern,
+)
+
+LABELS = ("a", "b", "c")
+TOLERANCE = 1e-9
+
+
+def make_batch(seed: int, max_queries: int = 3):
+    rng = random.Random(seed)
+    p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+    queries = [
+        random_tree_pattern(rng, labels=LABELS, mb_length=rng.randint(1, 4))
+        for _ in range(rng.randint(1, max_queries))
+    ]
+    return p, queries, rng
+
+
+def mutate_in_place(p: PDocument, rng: random.Random) -> None:
+    """A random in-place edit followed by ``mark_mutated()``."""
+    distributional = p.distributional_nodes()
+    ordinary_nodes = [
+        n for n in p.ordinary_nodes() if n is not p.root
+    ]
+    if distributional and (not ordinary_nodes or rng.random() < 0.5):
+        node = rng.choice(distributional)
+        child = rng.choice(node.children)
+        assert node.probabilities is not None
+        node.probabilities[child.node_id] *= Fraction(rng.choice((0, 1, 2)), 2)
+    elif ordinary_nodes:
+        rng.choice(ordinary_nodes).label = rng.choice(LABELS)
+    p.mark_mutated()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_shared_store_matches_sequential_exactly(seed):
+    # One store serves two documents and repeated (warm) batches: any
+    # cross-document or cross-subtree key collision would surface as a
+    # wrong exact answer.
+    p1, queries1, rng = make_batch(seed)
+    p2, queries2, _ = make_batch(seed + 1)
+    store = InMemoryStore()
+    for p, queries in ((p1, queries1), (p2, queries2), (p1, queries1)):
+        session = QuerySession(p, store=store)
+        for _ in range(2):
+            assert session.answer_many(queries) == [
+                query_answer(p, q) for q in queries
+            ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_store_backed_fast_within_tolerance(seed):
+    p, queries, _ = make_batch(seed)
+    exact = [query_answer(p, q) for q in queries]
+    fast = QuerySession(p, backend="fast", store=InMemoryStore()).answer_many(
+        queries
+    )
+    for d_exact, d_fast in zip(exact, fast):
+        for node_id in set(d_exact) | set(d_fast):
+            assert abs(
+                d_fast.get(node_id, 0.0) - float(d_exact.get(node_id, 0))
+            ) < TOLERANCE
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_mutations_invalidate_digests_and_memo(seed):
+    # Interleave queries and in-place mutations on one store-backed
+    # session: after every mutation the structural digests change on the
+    # touched path, so stale entries must stop matching and answers must
+    # equal fresh store-free evaluation of the *mutated* document.
+    p, queries, rng = make_batch(seed)
+    session = QuerySession(p, store=InMemoryStore())
+    for _ in range(3):
+        assert session.answer_many(queries) == [
+            query_answer(p, q) for q in queries
+        ]
+        mutate_in_place(p, rng)
+    assert session.answer_many(queries) == [
+        query_answer(p, q) for q in queries
+    ]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_sqlite_store_round_trip_matches(tmp_path_factory, seed):
+    # Cold evaluation fills a SQLite store; a fresh session over a fresh
+    # store instance (same file — a simulated restart) must reproduce
+    # the answers bit-exactly from disk.
+    p, queries, _ = make_batch(seed)
+    path = tmp_path_factory.mktemp("store") / f"memo_{seed}.db"
+    store = SqliteStore(path)
+    first = QuerySession(p, store=store).answer_many(queries)
+    store.close()
+    reopened = SqliteStore(path)
+    second = QuerySession(p, store=reopened).answer_many(queries)
+    reopened.close()
+    assert first == second == [query_answer(p, q) for q in queries]
+
+
+def test_churn_workload_store_equivalence():
+    # The full churn plan (satellite): batches interleaved with epoch-
+    # bumping mutations, against one persistent session + shared store.
+    p, steps = churn_workload(persons=4, projects=2, rounds=2, seed=13)
+    store = InMemoryStore()
+    session = QuerySession(p, store=store)
+    for kind, payload in steps:
+        if kind == "mutate":
+            payload()
+        else:
+            assert session.answer_many(payload) == [
+                query_answer(p, q) for q in payload
+            ]
+    assert session.stats.invalidations == 4  # one per mutation epoch
+    assert store.stats()["hits"] > 0

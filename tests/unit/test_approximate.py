@@ -66,3 +66,31 @@ class TestEstimates:
             rng=random.Random(7),
         )
         assert estimates == {}
+
+    def test_stable_anchor_forms_accepted(self, p_per):
+        # PatternNode and path anchor keys (the stable engine forms) feed
+        # the same normalization: a redundant out-anchor leaves the
+        # estimate bit-identical on the same world stream.
+        q = paper.q_bon()
+        plain = approximate_node_probability(
+            p_per, q, 5, samples=200, rng=random.Random(3)
+        )
+        via_node = approximate_node_probability(
+            p_per, q, 5, samples=200, rng=random.Random(3), anchors={q.out: 5}
+        )
+        via_path = approximate_node_probability(
+            p_per, q, 5, samples=200, rng=random.Random(3),
+            anchors={q.path_to(q.out): 5},
+        )
+        assert plain == via_node == via_path
+
+    def test_conflicting_anchor_forces_zero(self, p_per):
+        # Anchoring a non-output pattern node to an impossible document
+        # node suppresses every match.
+        q = paper.q_bon()
+        laptop = q.out.children[0]
+        estimate = approximate_node_probability(
+            p_per, q, 5, samples=100, rng=random.Random(4),
+            anchors={laptop: 1},
+        )
+        assert estimate == 0.0

@@ -107,3 +107,50 @@ class TestCommands:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "q_RBON" in out and "0.675" in out
+
+
+class TestStoreCommands:
+    QUERY = "IT-personnel//person/bonus[laptop]"
+
+    def test_eval_with_store_reuses_across_runs(
+        self, doc_file, tmp_path, capsys
+    ):
+        store_path = str(tmp_path / "memo.db")
+        assert main(["eval", doc_file, self.QUERY,
+                     "--store", store_path]) == 0
+        cold = capsys.readouterr().out
+        assert "node 5" in cold and "store" in cold
+        assert main(["eval", doc_file, self.QUERY,
+                     "--store", store_path]) == 0
+        warm = capsys.readouterr().out
+        assert "node 5" in warm
+        # the second run answers from the persisted entries
+        assert "0 misses" in warm
+
+    def test_batch_eval_with_store_matches_plain(
+        self, doc_file, tmp_path, capsys
+    ):
+        queries = [self.QUERY, "IT-personnel//person/name"]
+        assert main(["eval", doc_file, *queries]) == 0
+        plain = capsys.readouterr().out
+        store_path = str(tmp_path / "memo.db")
+        assert main(["eval", doc_file, *queries, "--batch",
+                     "--store", store_path]) == 0
+        stored = capsys.readouterr().out
+        assert plain.splitlines() == stored.splitlines()[:-1]  # + store line
+
+    def test_warm_then_stats_then_clear(self, doc_file, tmp_path, capsys):
+        store_path = str(tmp_path / "memo.db")
+        assert main(["store", "warm", store_path, doc_file, self.QUERY]) == 0
+        assert "warmed" in capsys.readouterr().out
+        assert main(["store", "stats", store_path]) == 0
+        stats_out = capsys.readouterr().out
+        assert "entries" in stats_out and "weight" in stats_out
+        assert main(["store", "clear", store_path]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert main(["store", "stats", store_path]) == 0
+        assert "entries  0" in capsys.readouterr().out
+
+    def test_store_stats_missing_file(self, tmp_path, capsys):
+        assert main(["store", "stats", str(tmp_path / "absent.db")]) == 1
+        assert "no store file" in capsys.readouterr().err

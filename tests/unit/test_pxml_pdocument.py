@@ -109,3 +109,41 @@ class TestEquality:
         p4 = paper.p4_example12()
         # Same shape, different probabilities — distinguishable even without Ids.
         assert p3.canonical_key(with_ids=False) != p4.canonical_key(with_ids=False)
+
+
+class TestStructuralIdentity:
+    def test_document_digest_matches_between_equal_builds(self):
+        assert paper.p_per().document_digest == paper.p_per().document_digest
+        assert (
+            paper.p3_example12().document_digest
+            != paper.p4_example12().document_digest
+        )
+
+    def test_subdocument_digest_agrees_with_subtree_digest(self):
+        p = paper.p_per()
+        for node in p.ordinary_nodes():
+            assert (
+                p.subdocument(node.node_id).document_digest
+                == p.structural_digest(node.node_id)
+            )
+
+    def test_structural_index_covers_every_node(self):
+        p = paper.p_per()
+        digests, sizes = p.structural_index()
+        assert set(digests) == {n.node_id for n in p.nodes()}
+        assert sizes[p.root.node_id] == p.size()
+        leaf = p.node(8)  # Rick leaf
+        assert sizes[leaf.node_id] == 1 and p.subtree_size(8) == 1
+
+    def test_label_index_interns_and_accumulates(self):
+        p = paper.p_per()
+        labels = p.label_index()
+        assert labels[8] == frozenset({"Rick"})
+        assert "Rick" in labels[p.root.node_id]
+        assert labels[11] == frozenset({"John", "Rick"})  # mux adds no label
+
+    def test_ancestral_closure(self):
+        p = paper.p_per()
+        closure = p.ancestral_closure([8])  # Rick: mux 11, name 4, person 2
+        assert closure == frozenset({8, 11, 4, 2, 1})
+        assert p.ancestral_closure([]) == frozenset()

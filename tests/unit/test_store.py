@@ -1,0 +1,372 @@
+"""Unit tests for the persistent structural memo store subsystem.
+
+Covers the tentpole guarantees: structural digests identify subtrees by
+shape (not Ids), cost-aware LRU eviction keeps hot high-weight entries
+under pressure, the SQLite tier round-trips exact and float payloads
+across reopen, corrupted store files degrade to memory-only with a
+warning, and sessions sharing a store reuse work across isomorphic
+subtrees, across documents and across (simulated) restarts.
+"""
+
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro.prob import EvaluationEngine, QuerySession, query_answer
+from repro.pxml import ind, mux, ordinary, pdoc
+from repro.store import (
+    GATE_BLOCKED,
+    InMemoryStore,
+    SqliteStore,
+    SubtreeKeyer,
+    open_store,
+)
+from repro.tp import parse_pattern
+from repro.workloads import paper
+from repro.workloads.synthetic import batch_workload
+
+
+def person(i: int, name: str = "Rick", project: str = "project0"):
+    """A person subtree; same arguments ⇒ isomorphic (digest-equal)."""
+    base = 100 * i
+    return ordinary(
+        base, "person",
+        ordinary(base + 1, "name",
+                 mux(base + 2, (ordinary(base + 3, name), "0.5"))),
+        ordinary(base + 4, "bonus",
+                 ind(base + 5,
+                     (ordinary(base + 6, project, ordinary(base + 7, "42")),
+                      "0.8"))),
+    )
+
+
+class TestStructuralDigest:
+    def test_isomorphic_subtrees_share_digest(self):
+        p = pdoc(ordinary(1, "IT-personnel", person(1), person(2)))
+        assert p.structural_digest(100) == p.structural_digest(200)
+        assert p.subtree_size(100) == p.subtree_size(200)
+
+    def test_digest_ignores_node_ids_and_child_order(self):
+        p1 = pdoc(ordinary(1, "IT-personnel", person(1), person(2, name="Ann")))
+        p2 = pdoc(ordinary(9, "IT-personnel", person(7, name="Ann"), person(3)))
+        assert p1.document_digest == p2.document_digest
+
+    def test_digest_sensitive_to_labels_kinds_probabilities(self):
+        base = pdoc(ordinary(1, "a", person(1))).document_digest
+        relabeled = pdoc(ordinary(1, "a", person(1, name="Ann"))).document_digest
+        reweighted = pdoc(ordinary(1, "a", person(1)))
+        node = reweighted.node(102)
+        assert node.probabilities is not None
+        node.probabilities[103] = Fraction(1, 4)
+        reweighted.mark_mutated()
+        assert len({base, relabeled, reweighted.document_digest}) == 3
+        ind_doc = pdoc(ordinary(1, "a", ind(2, (ordinary(3, "b"), "0.5"))))
+        mux_doc = pdoc(ordinary(1, "a", mux(2, (ordinary(3, "b"), "0.5"))))
+        assert ind_doc.document_digest != mux_doc.document_digest
+
+    def test_mutation_epoch_invalidates_cached_digest(self):
+        p = pdoc(ordinary(1, "a", person(1)))
+        before = p.document_digest
+        p.node(103).label = "Morty"
+        p.mark_mutated()
+        assert p.document_digest != before
+
+    def test_subtree_size_counts_all_node_kinds(self, p_per):
+        _, sizes = p_per.structural_index()
+        assert sizes[p_per.root.node_id] == p_per.size()
+
+
+class TestInMemoryStore:
+    KEY = ("s0", "f0", None, "exact")
+
+    def test_get_put_roundtrip_and_counters(self):
+        store = InMemoryStore()
+        assert store.get(self.KEY) is None
+        distribution = {0: Fraction(1, 2), 3: Fraction(1, 2)}
+        store.put(self.KEY, distribution, weight=10)
+        assert store.get(self.KEY) is distribution
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["puts"] == 1 and stats["entries"] == 1
+        assert stats["weight"] == 10
+
+    def test_cost_aware_eviction_keeps_hot_heavy_entry(self):
+        store = InMemoryStore(max_weight=100)
+        heavy = ("heavy", "f", None, "exact")
+        store.put(heavy, {0: 1}, weight=50)
+        for i in range(30):
+            store.put((f"light{i}", "f", None, "exact"), {0: 1}, weight=10)
+            assert store.get(heavy) is not None  # kept hot
+        assert store.evictions > 0
+        assert store.weight <= 100
+        # the oldest light entries were evicted around the surviving heavy one
+        assert store.get(("light0", "f", None, "exact")) is None
+
+    def test_aging_eventually_evicts_cold_heavy_entry(self):
+        store = InMemoryStore(max_weight=100)
+        store.put(("heavy", "f", None, "exact"), {0: 1}, weight=50)
+        for i in range(30):  # never touched again: the clock catches up
+            store.put((f"light{i}", "f", None, "exact"), {0: 1}, weight=10)
+        assert store.get(("heavy", "f", None, "exact")) is None
+
+    def test_max_entries_cap(self):
+        store = InMemoryStore(max_entries=8)
+        for i in range(40):
+            store.put((f"s{i}", "f", None, "exact"), {0: 1}, weight=1)
+        assert len(store) <= 8
+
+    def test_put_replaces_entry_in_place(self):
+        store = InMemoryStore()
+        store.put(self.KEY, {0: 1}, weight=5)
+        store.put(self.KEY, {0: 2}, weight=9)
+        assert store.get(self.KEY) == {0: 2}
+        assert len(store) == 1 and store.weight == 9
+
+    def test_clear(self):
+        store = InMemoryStore()
+        store.put(self.KEY, {0: 1}, weight=5)
+        store.clear()
+        assert len(store) == 0 and store.weight == 0
+        assert store.get(self.KEY) is None
+
+    def test_contains_counts_nothing(self):
+        store = InMemoryStore()
+        assert not store.contains(self.KEY)
+        store.put(self.KEY, {0: 1})
+        assert store.contains(self.KEY)
+        assert store.stats()["hits"] == 0 and store.stats()["misses"] == 0
+
+
+class TestSqliteStore:
+    EXACT = {0: Fraction(2, 3), (1 << 130) | 5: Fraction(123456789, 987654321)}
+    FAST = {0: 0.25, 7: 0.75}
+
+    def test_roundtrip_across_reopen(self, tmp_path):
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        store.put(("s", "f", GATE_BLOCKED, "exact"), self.EXACT, weight=12)
+        store.put(("s", "f", None, "fast"), self.FAST, weight=4)
+        store.close()
+        reopened = SqliteStore(path)
+        exact = reopened.get(("s", "f", GATE_BLOCKED, "exact"))
+        fast = reopened.get(("s", "f", None, "fast"))
+        assert exact == self.EXACT
+        assert all(isinstance(v, Fraction) for v in exact.values())
+        assert fast == self.FAST
+        assert all(isinstance(v, float) for v in fast.values())
+        assert len(reopened) == 2
+
+    def test_lazy_point_lookups(self, tmp_path):
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        store.put(("s", "f", None, "exact"), self.EXACT)
+        store.close()
+        lazy = SqliteStore(path, preload=False)
+        assert lazy.get(("s", "f", None, "exact")) == self.EXACT
+        assert lazy.get(("absent", "f", None, "exact")) is None
+        assert lazy.stats()["hits"] == 1 and lazy.stats()["misses"] == 1
+
+    def test_non_serializable_values_stay_in_memory(self, tmp_path):
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        store.put(("s", "f", None, "custom"), {0: object()})
+        assert store.get(("s", "f", None, "custom")) is not None
+        store.close()
+        assert SqliteStore(path).get(("s", "f", None, "custom")) is None
+
+    def test_corrupted_file_degrades_with_warning(self, tmp_path):
+        path = tmp_path / "memo.db"
+        path.write_bytes(b"this is definitely not a sqlite database......")
+        with pytest.warns(RuntimeWarning, match="continuing without"):
+            store = SqliteStore(path)
+        assert store.degraded
+        # still a functioning (memory-only) store
+        store.put(("s", "f", None, "exact"), self.EXACT, weight=2)
+        assert store.get(("s", "f", None, "exact")) == self.EXACT
+        assert store.stats()["degraded"] is True
+        store.close()
+
+    def test_clear_drops_persisted_entries(self, tmp_path):
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        store.put(("s", "f", None, "exact"), self.EXACT)
+        store.clear()
+        store.close()
+        assert len(SqliteStore(path)) == 0
+
+    def test_open_store_helper(self, tmp_path):
+        assert isinstance(open_store(), InMemoryStore)
+        store = open_store(str(tmp_path / "memo.db"))
+        assert isinstance(store, SqliteStore)
+        store.close()
+
+
+class TestSubtreeKeyer:
+    def test_anchored_restriction_gets_no_store_key(self, p_per):
+        q = paper.q_bon()
+        anchored = EvaluationEngine(p_per, [q], {q.out: 5})
+        plain = EvaluationEngine(p_per, [q])
+        labels = p_per.label_index()
+        root_labels = labels[p_per.root.node_id]
+        anchored_keyer = SubtreeKeyer(p_per, anchored, anchored.backend)
+        plain_keyer = SubtreeKeyer(p_per, plain, plain.backend)
+        assert anchored_keyer.store_key(1, root_labels, GATE_BLOCKED) is None
+        key = plain_keyer.store_key(1, root_labels, GATE_BLOCKED)
+        assert key is not None and key[3] == "exact"
+
+    def test_gate_collapses_for_out_insensitive_restriction(self, p_per):
+        engine = EvaluationEngine(p_per, [paper.q_bon()])
+        keyer = SubtreeKeyer(p_per, engine, engine.backend)
+        # the mux subtree under person 2's bonus holds "laptop" (a table
+        # label) but not "bonus" (the output label): blocked and unpinned
+        # evaluations coincide, so the gate collapses to None
+        mux_labels = p_per.label_index()[21]
+        assert "laptop" in mux_labels and "bonus" not in mux_labels
+        key = keyer.store_key(21, mux_labels, GATE_BLOCKED)
+        assert key is not None and key[2] is None
+
+
+class TestStoreBackedEvaluation:
+    def test_isomorphic_subtrees_hit_on_first_cold_pass(self):
+        p = pdoc(ordinary(1, "IT-personnel", person(1), person(2), person(3)))
+        q = parse_pattern("IT-personnel//person[name/Rick]/bonus")
+        session = QuerySession(p)
+        answer = session.answer(q)
+        assert answer == query_answer(p, q)
+        assert session.store is not None
+        # persons 2 and 3 reuse person 1's name-subtree evaluation (the
+        # bonus subtrees are candidate-bearing and stay live)
+        assert session.store.stats()["hits"] > 0
+
+    def test_store_shared_across_documents(self):
+        q = parse_pattern("IT-personnel//person[name/Rick]/bonus")
+        store = InMemoryStore()
+        p1 = pdoc(ordinary(1, "IT-personnel", person(1), person(2, "Ann")))
+        p2 = pdoc(ordinary(1, "IT-personnel",
+                           person(1), person(2, "Ann"), person(3, "Bob")))
+        first = QuerySession(p1, store=store)
+        assert first.answer(q) == query_answer(p1, q)
+        second = QuerySession(p2, store=store)
+        hits_before = store.stats()["hits"]
+        assert second.answer(q) == query_answer(p2, q)
+        assert store.stats()["hits"] > hits_before
+        assert second.stats.memo_hits > 0  # cold session, warm store
+
+    def test_sqlite_store_warm_from_disk(self, tmp_path):
+        path = tmp_path / "memo.db"
+        p, queries = batch_workload(persons=4, projects=2, seed=3)
+        store = SqliteStore(path)
+        expected = QuerySession(p, store=store).answer_many(queries)
+        store.close()
+        reopened = SqliteStore(path)
+        fresh = QuerySession(p, store=reopened)
+        assert fresh.answer_many(queries) == expected
+        assert fresh.stats.memo_hits > 0
+        assert fresh.stats.memo_misses == 0  # fully warm from disk
+        assert reopened.puts == 0  # and no redundant re-writes either
+        reopened.close()
+
+    def test_engine_store_reuse_across_instances(self, p_per):
+        store = InMemoryStore()
+        q = paper.q_bon()
+        first = query_answer(p_per, q, store=store)
+        stats = {}
+        second = query_answer(p_per, q, stats=stats, store=store)
+        assert first == second == query_answer(p_per, q)
+        assert stats["node_visits"] < p_per.size()  # subtrees skipped
+
+    def test_mutation_keeps_untouched_structural_entries(self):
+        p = pdoc(ordinary(1, "IT-personnel", person(1), person(2, "Ann")))
+        q = parse_pattern("IT-personnel//person[name/Rick]/bonus")
+        session = QuerySession(p)
+        session.answer(q)
+        node = p.node(102)  # person 1's name mux
+        assert node.probabilities is not None
+        node.probabilities[103] = Fraction(1, 4)
+        p.mark_mutated()
+        hits_before = session.store.stats()["hits"]
+        assert session.answer(q) == query_answer(p, q)
+        # person 2's subtrees kept their digests and still hit the store
+        assert session.store.stats()["hits"] > hits_before
+
+    def test_invalidate_recovers_from_unmarked_mutation(self):
+        # invalidate() must restore correctness even when an in-place
+        # mutation forgot mark_mutated(): it bumps the epoch itself, so
+        # stale digests/label maps are re-derived.
+        p = pdoc(ordinary(1, "IT-personnel", person(1), person(2, "Ann")))
+        q = parse_pattern("IT-personnel//person[name/Rick]/bonus")
+        session = QuerySession(p)
+        session.answer(q)
+        p.node(203).label = "Rick"  # person 2 becomes a Rick — unmarked!
+        session.invalidate()
+        assert session.answer(q) == query_answer(p, q)
+        assert len(query_answer(p, q)) == 2  # both bonuses now answer
+
+    def test_lazy_mode_repairs_undecodable_rows(self, tmp_path):
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        key = ("s", "f", None, "exact")
+        store.put(key, {0: Fraction(1)})
+        store.close()
+        import sqlite3
+
+        with sqlite3.connect(path) as conn:
+            conn.execute("UPDATE memo SET payload = '{\"v\": 99, \"d\": []}'")
+        lazy = SqliteStore(path, preload=False)
+        assert lazy.get(key) is None  # miss: poisoned row is dropped...
+        assert not lazy.contains(key)  # ...so contains agrees
+        lazy.put(key, {0: Fraction(1, 2)})  # and the writer repairs it
+        lazy.close()
+        assert SqliteStore(path).get(key) == {0: Fraction(1, 2)}
+
+    def test_invalidate_clears_owned_store_only(self, p_per):
+        owned = QuerySession(p_per)
+        owned.answer(paper.q_bon())
+        assert owned.memo_size > 0
+        owned.invalidate()
+        assert owned.memo_size == 0
+        shared_store = InMemoryStore()
+        shared = QuerySession(p_per, store=shared_store)
+        shared.answer(paper.q_bon())
+        entries = len(shared_store)
+        assert entries > 0
+        shared.invalidate()
+        assert len(shared_store) == entries  # shared stores are kept
+
+    def test_memoize_false_uses_no_store(self, p_per):
+        session = QuerySession(p_per, memoize=False)
+        assert session.store is None
+        assert session.answer(paper.q_bon()) == query_answer(
+            p_per, paper.q_bon()
+        )
+        assert session.memo_size == 0
+
+    def test_memoize_false_rejects_explicit_store(self, p_per):
+        with pytest.raises(ValueError, match="memoize=False"):
+            QuerySession(p_per, memoize=False, store=InMemoryStore())
+
+    def test_rewrite_plans_share_the_cache_store(self, p_per):
+        from repro.cache import AnswerSource, RewritingCache
+        from repro.views.view import View
+
+        store = InMemoryStore()
+        cache = RewritingCache(p_per, store=store)
+        cache.materialize(View("v1", paper.v1_bon()))
+        entries_before = len(store)
+        answer = cache.answer(paper.q_rbon())
+        assert answer.source is AnswerSource.SINGLE_VIEW
+        # the plan's sessions over the extension document filled the
+        # shared store (not a private one)
+        assert len(store) > entries_before
+        hits_before = store.stats()["hits"]
+        repeat = cache.answer(paper.q_rbon())
+        assert repeat.answer == answer.answer
+        assert store.stats()["hits"] > hits_before
+
+    def test_no_warning_on_healthy_store(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            store = SqliteStore(tmp_path / "memo.db")
+            store.put(("s", "f", None, "exact"), {0: Fraction(1)})
+            store.close()

@@ -15,6 +15,7 @@ from repro.workloads.hypergraph import (
 from repro.workloads.synthetic import (
     adversarial_intersection,
     chain_query,
+    churn_workload,
     personnel_pdocument,
     personnel_query,
     personnel_views,
@@ -98,3 +99,28 @@ class TestSynthetic:
         patterns = adversarial_intersection(3)
         assert len(patterns) == 3
         assert patterns[0].root_label() == "a"
+
+    def test_churn_workload_shape_and_epochs(self):
+        p, steps = churn_workload(persons=3, projects=2, rounds=2, seed=4)
+        kinds = [kind for kind, _ in steps]
+        assert kinds[0] == "queries"
+        assert kinds.count("mutate") == 4 and kinds.count("queries") == 5
+        digest_before = p.document_digest
+        epoch_before = p.mutation_epoch
+        for kind, payload in steps:
+            if kind == "mutate":
+                payload()
+        assert p.mutation_epoch == epoch_before + 4
+        # probability scaling and amount relabels both alter the digest
+        assert p.document_digest != digest_before
+
+    def test_churn_queries_stay_answerable_after_mutations(self):
+        p, steps = churn_workload(persons=3, projects=2, rounds=1, seed=9)
+        answers = None
+        for kind, payload in steps:
+            if kind == "mutate":
+                payload()
+            else:
+                answers = [query_answer(p, q) for q in payload]
+        assert answers is not None
+        assert all(0 <= pr <= 1 for a in answers for pr in a.values())
