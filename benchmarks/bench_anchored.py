@@ -1,0 +1,302 @@
+"""Anchored-evaluation benchmark: canonical anchor positions vs the
+node-keyed baseline.
+
+The rewrite layer's hottest traffic — Theorem 1's per-holder numerators
+and Theorem 2's α-pattern conjunctions — is *anchored*: pattern nodes
+pinned to concrete document nodes.  Until ISSUE 5 those evaluations
+bypassed the structural memo store (anchors pin node Ids, which are
+document identity, not structure) and lived in per-session node-keyed
+memos, so every fresh plan, extension, restart or isomorphic twin paid
+them cold.  Canonical anchor *positions* (digest-sorted rank paths)
+turn them into content-addressed store entries.
+
+Two workloads, each timed under two configurations against a shared
+:class:`~repro.store.InMemoryStore`:
+
+* ``theorem1`` — the personnel family (restricted plan: batched
+  numerators + per-holder denominators);
+* ``theorem2`` — nested ``b/c``-chain documents where
+  ``a//b/c/b/c`` rewrites ``a//b/c/b/c//d`` unrestrictedly
+  (inclusion-exclusion over overlapping holders, α-patterns with
+  engine-anchored ``Id(·)`` pins);
+
+and per configuration:
+
+* ``node_keyed`` — ``anchored_store=False``: anchored entries go to
+  session-local memos; a *fresh* plan over the warm shared store
+  (``warm_node_keyed_s``) still recomputes every anchored DP — this is
+  the pre-ISSUE-5 behaviour;
+* ``anchored``  — ``anchored_store=True``: the same fresh plan starts
+  warm (``warm_anchored_s``), probing anchor-position keys filled by the
+  previous evaluation.
+
+Run standalone to emit the machine-readable comparison::
+
+    PYTHONPATH=src python benchmarks/bench_anchored.py           # full sizes
+    PYTHONPATH=src python benchmarks/bench_anchored.py --quick   # CI smoke
+
+which writes ``BENCH_anchored.json`` at the repository root.  The full
+run asserts the ISSUE-5 acceptance bar: warm Theorem-1/2 answering at 64
+persons is ≥ 2× faster than the node-keyed baseline.  Both runs also
+assert the structural-sharing bar: anchored entries hit the store on the
+*first cold pass* over an isomorphic twin document (same shapes,
+disjoint node Ids).  Under pytest the same strategies run through
+pytest-benchmark with exactness asserted against direct evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.prob import QuerySession, query_answer
+from repro.pxml import ind, mux, ordinary, pdoc
+from repro.pxml.pdocument import PDocument
+from repro.rewrite import probabilistic_tp_plan
+from repro.store import InMemoryStore
+from repro.tp import parse_pattern
+from repro.views import View, probabilistic_extension
+from repro.workloads.synthetic import (
+    batch_workload,
+    isomorphic_twin,
+    personnel_pdocument,
+    personnel_query,
+    personnel_views,
+)
+
+SIZES = [8, 16]
+FULL_SIZES = [8, 16, 32, 64]
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_anchored.json"
+
+_TWIN_OFFSET = 10_000_000
+
+
+# ----------------------------------------------------------------------
+# Workloads
+# ----------------------------------------------------------------------
+def theorem1_setup(persons: int):
+    """Restricted single-view rewriting over the personnel family."""
+    p = personnel_pdocument(persons=persons, projects=3, seed=persons)
+    q = personnel_query("project0")
+    view = personnel_views()[0]
+    extension = probabilistic_extension(p, view)
+    return p, q, view, extension
+
+
+def theorem2_pdocument(chains: int, seed: int = 0, width: int = 4) -> PDocument:
+    """``chains`` nested ``b/c`` chains with probabilistic ``d`` leaves.
+
+    ``a//b/c/b/c`` selects two overlapping holders per chain (the depth-4
+    and depth-6 ``c`` nodes), so the unrestricted plan's
+    inclusion-exclusion and α-patterns genuinely fire; ``width``
+    independent ``d`` leaves per chain give the per-candidate DP real
+    distribution mass to recompute when it cannot hit the store.
+    """
+    rng = random.Random(seed)
+    counter = itertools.count(1)
+    kids = []
+    for _ in range(chains):
+        leaves = [
+            ind(
+                next(counter),
+                (ordinary(next(counter), "d"),
+                 rng.choice(["0.25", "0.5", "0.75"])),
+            )
+            for _ in range(width)
+        ]
+        chain = ordinary(next(counter), "c", *leaves)
+        for label in ("b", "c", "b", "c", "b"):
+            chain = ordinary(next(counter), label, chain)
+        kids.append(
+            mux(next(counter), (chain, "0.9"))
+            if rng.random() < 0.5
+            else chain
+        )
+    return pdoc(ordinary(0, "a", *kids))
+
+
+def theorem2_setup(chains: int):
+    """Unrestricted (Theorem 2) single-view rewriting over chain documents."""
+    p = theorem2_pdocument(chains, seed=chains)
+    q = parse_pattern("a//b/c/b/c//d")
+    view = View("v", parse_pattern("a//b/c/b/c"))
+    extension = probabilistic_extension(p, view)
+    return p, q, view, extension
+
+
+def evaluate_fresh_plan(q, view, extension, store, anchored: bool):
+    """One plan evaluation as a *fresh* consumer of the shared store.
+
+    A fresh plan means fresh per-extension sessions: node-keyed local
+    memos start empty (the baseline's anchored work recomputes), whereas
+    anchor-position entries in the shared store survive.
+    """
+    plan = probabilistic_tp_plan(
+        q, view, store=store, anchored_store=anchored
+    )
+    assert plan is not None
+    return plan.evaluate(extension)
+
+
+def twin_cold_anchored_hits(persons: int = 6) -> int:
+    """Anchored store hits during the *first* pass over an isomorphic twin.
+
+    One document fills a shared store with anchored Boolean evaluations
+    (``Pr(out ↦ n)`` per candidate); its Id-disjoint twin then evaluates
+    the corresponding anchors.  Rank paths are Id-free, so the twin's
+    first, cold pass must already hit the anchor-position entries.
+    """
+    p1, _ = batch_workload(persons=persons, projects=3, seed=persons)
+    p2 = isomorphic_twin(p1, _TWIN_OFFSET)
+    q = personnel_query("project0")
+    candidates = sorted(query_answer(p1, q))
+    store = InMemoryStore()
+    first = QuerySession(p1, store=store).boolean_many(
+        [(q, {q.out: n}) for n in candidates]
+    )
+    before = store.anchored_hits
+    second = QuerySession(p2, store=store).boolean_many(
+        [(q, {q.out: n + _TWIN_OFFSET}) for n in candidates]
+    )
+    assert first == second  # isomorphic twins answer identically
+    return store.anchored_hits - before
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark harness
+# ----------------------------------------------------------------------
+@pytest.mark.paper("§4 Theorems 1/2 — warm anchored rewrite answering")
+@pytest.mark.parametrize("persons", SIZES)
+@pytest.mark.parametrize("anchored", [False, True], ids=["node_keyed", "anchored"])
+def test_theorem1_warm(benchmark, report, persons, anchored):
+    p, q, view, extension = theorem1_setup(persons)
+    expected = query_answer(p, q)
+    store = InMemoryStore()
+    evaluate_fresh_plan(q, view, extension, store, anchored)  # fill, untimed
+    answer = benchmark(
+        evaluate_fresh_plan, q, view, extension, store, anchored
+    )
+    assert answer == expected
+    report.append(
+        f"anchored persons={persons}: warm Theorem-1 plan, "
+        f"{'position-keyed store' if anchored else 'node-keyed baseline'}"
+    )
+
+
+def test_twin_document_hits_anchored_entries_cold(report):
+    hits = twin_cold_anchored_hits()
+    assert hits > 0
+    report.append(
+        f"anchored twins: {hits} anchor-position hits on the first cold pass"
+    )
+
+
+# ----------------------------------------------------------------------
+# Standalone JSON emitter
+# ----------------------------------------------------------------------
+def _best_of(repeats: int, fn, *args) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _measure(setup, persons: int, repeats: int) -> dict:
+    p, q, view, extension = setup(persons)
+    expected = query_answer(p, q)
+    result = {"persons": persons, "pdocument_size": p.size(),
+              "extension_size": extension.pdocument.size(),
+              "answers": len(expected)}
+    for label, anchored in (("node_keyed", False), ("anchored", True)):
+        store = InMemoryStore()
+        # The first evaluation over the empty store IS the cold pass —
+        # time it and assert its answer, so the warm runs below find the
+        # store exactly as one production evaluation leaves it.
+        start = time.perf_counter()
+        answer = evaluate_fresh_plan(q, view, extension, store, anchored)
+        cold = time.perf_counter() - start
+        assert answer == expected
+        warm = _best_of(repeats, evaluate_fresh_plan, q, view, extension,
+                        store, anchored)
+        result[f"cold_{label}_s"] = cold
+        result[f"warm_{label}_s"] = warm
+        if anchored:
+            gauges = store.stats()
+            result["anchored_entries"] = gauges["anchored_entries"]
+            result["anchored_hits"] = gauges["anchored_hits"]
+    result["warm_speedup"] = (
+        result["warm_node_keyed_s"] / result["warm_anchored_s"]
+    )
+    return result
+
+
+def run(sizes: list[int], repeats: int = 3) -> dict:
+    workloads = {}
+    for name, setup in (("theorem1", theorem1_setup), ("theorem2", theorem2_setup)):
+        workloads[name] = [
+            _measure(setup, persons, repeats) for persons in sizes
+        ]
+    return {
+        "benchmark": "bench_anchored",
+        "workloads": {
+            "theorem1": "personnel family, restricted plan "
+            "(batched anchored numerators + per-holder denominators)",
+            "theorem2": "nested b/c chains, unrestricted plan "
+            "(inclusion-exclusion, engine-anchored α-patterns)",
+        },
+        "strategies": ["node_keyed (anchored_store=False)",
+                       "anchored (anchored_store=True)"],
+        "repeats": repeats,
+        "twin_cold_anchored_hits": twin_cold_anchored_hits(),
+        "results": workloads,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / single repeat (CI smoke pass)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"where to write the JSON report (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    sizes = SIZES if args.quick else FULL_SIZES
+    report = run(sizes, repeats=1 if args.quick else 3)
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.output}")
+    exit_code = 0
+    for name, rows in report["results"].items():
+        largest = rows[-1]
+        print(
+            f"{name} persons={largest['persons']}: warm anchored vs "
+            f"node-keyed ×{largest['warm_speedup']:.1f} "
+            f"({largest['anchored_entries']} anchored entries)"
+        )
+        if not args.quick and largest["warm_speedup"] < 2.0:
+            print(
+                f"FAIL: warm {name} answering under 2x over the "
+                "node-keyed baseline", file=sys.stderr,
+            )
+            exit_code = 1
+    print(f"twin cold anchored hits: {report['twin_cold_anchored_hits']}")
+    if report["twin_cold_anchored_hits"] <= 0:
+        print("FAIL: isomorphic twin did not hit anchored entries cold",
+              file=sys.stderr)
+        exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,6 +87,12 @@ class RewritingCache:
             cache's session — view materialization and direct answers
             then share one structural memo, and a
             :class:`repro.store.SqliteStore` makes it survive restarts.
+        anchored_store: content-address anchored evaluations under
+            canonical anchor-position keys (default) — the rewriting
+            plans' per-extension sessions then share anchored Theorem-1/2
+            entries with the base document's store.  ``False`` restores
+            the node-keyed local memos (the baseline measured by
+            ``benchmarks/bench_anchored.py``).
     """
 
     def __init__(
@@ -95,12 +101,16 @@ class RewritingCache:
         strict: bool = False,
         backend: BackendLike = "exact",
         store: Optional[MemoStore] = None,
+        anchored_store: bool = True,
     ) -> None:
         self._p: Optional[PDocument] = None if strict else p
         self._build_source = p
         self.strict = strict
         self.backend = get_backend(backend)
-        self._session = QuerySession(p, backend=self.backend, store=store)
+        self.anchored_store = anchored_store
+        self._session = QuerySession(
+            p, backend=self.backend, store=store, anchored_store=anchored_store
+        )
         self._views: dict[str, View] = {}
         self._extensions: dict[str, ProbabilisticViewExtension] = {}
         self._source_counts: dict[AnswerSource, int] = {
@@ -240,7 +250,11 @@ class RewritingCache:
         are not counted); ``"total"`` sums them; ``"session"`` is a
         snapshot of :class:`repro.prob.session.SessionStats` for the
         cache's base-document session; ``"store"`` holds the structural
-        memo store's counters (``None`` when memoization is off).
+        memo store's counters (``None`` when memoization is off);
+        ``"anchored"`` aggregates the anchored hit/miss/put traffic —
+        store-level counters cover every session sharing the store (the
+        plans' per-extension sessions included), the session-level pair
+        covers the base-document session alone.
         """
         counts = {
             source.name: count for source, count in self._source_counts.items()
@@ -249,6 +263,13 @@ class RewritingCache:
         counts["session"] = self._session.stats.snapshot()
         store = self._session.store
         counts["store"] = store.stats() if store is not None else None
+        counts["anchored"] = {
+            "store_hits": store.anchored_hits if store is not None else 0,
+            "store_misses": store.anchored_misses if store is not None else 0,
+            "store_puts": store.anchored_puts if store is not None else 0,
+            "session_hits": self._session.stats.anchored_hits,
+            "session_misses": self._session.stats.anchored_misses,
+        }
         return counts
 
     @property
@@ -264,7 +285,11 @@ class RewritingCache:
     ) -> Optional[CachedAnswer]:
         for view in self._views.values():
             plan = probabilistic_tp_plan(
-                q, view, backend=self.backend, store=self._session.store
+                q,
+                view,
+                backend=self.backend,
+                store=self._session.store,
+                anchored_store=self.anchored_store,
             )
             if plan is None:
                 continue
@@ -288,6 +313,7 @@ class RewritingCache:
             self._extensions,
             backend=self.backend,
             store=self._session.store,
+            anchored_store=self.anchored_store,
         )
         if plan is None:
             return None

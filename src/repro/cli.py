@@ -66,7 +66,9 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         store.close()
         print(
             f"store {args.store}: {stats['entries']} entries, "
-            f"{stats['hits']} hits / {stats['misses']} misses this run"
+            f"{stats['hits']} hits / {stats['misses']} misses this run "
+            f"({stats['anchored_hits']} anchored hits / "
+            f"{stats['anchored_misses']} anchored misses)"
         )
     return 0
 
@@ -81,6 +83,8 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     store.close()
     print(f"path     {stats['path']}")
     print(f"entries  {stats['entries']}")
+    anchored = stats["anchored_entries"]
+    print(f"anchored {anchored if anchored is not None else '?'}")
     print(f"weight   {stats['weight']}")
     if stats["degraded"]:
         print("state    DEGRADED (file unusable; see warning)")

@@ -54,6 +54,7 @@ across queries through :meth:`goal_table_fingerprint`.
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import partial
 from typing import Mapping, Optional, Sequence, Union
 
 from ..errors import PatternError
@@ -62,6 +63,7 @@ from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..store import GATE_BLOCKED, GATE_UNPINNED, MemoStore, SubtreeKeyer
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
+from .traversal import Lane, stored_postorder
 
 __all__ = [
     "EvaluationEngine",
@@ -79,8 +81,15 @@ __all__ = [
 Distribution = dict
 
 AnchorKey = Union[PatternNode, tuple, int]
-AnchorsLike = Mapping[AnchorKey, int]
-"""Maps a pattern node to the document node Id it must be mapped to.
+AnchorTarget = Union[int, "Sequence[int]"]
+AnchorsLike = Mapping[AnchorKey, AnchorTarget]
+"""Maps a pattern node to the document node Id(s) it must be mapped to.
+
+A target is a single node Id, or an iterable of Ids when several document
+nodes are admissible images (e.g. the occurrence copies of one original
+node inside a view extension — the engine-level form of the paper's
+``Id(n)``-marker device).  An empty iterable pins the node to nothing:
+the pattern cannot match.
 
 Keys may be, in order of preference:
 
@@ -103,19 +112,22 @@ _GRANT_NONE = object()  # blocked evaluation: out D-goals never granted
 
 def normalize_anchors(
     patterns: Sequence[TreePattern], anchors: Optional[AnchorsLike]
-) -> dict[int, int]:
-    """Normalize any accepted anchor form to ``{id(pattern_node): doc_id}``.
+) -> dict[int, frozenset]:
+    """Normalize any accepted anchor form to ``{id(pattern_node): ids}``.
 
-    See :data:`AnchorsLike` for the accepted key forms.
+    See :data:`AnchorsLike` for the accepted key forms; each target
+    becomes a ``frozenset`` of admissible document node Ids (a singleton
+    for the common scalar form).
 
     Raises:
-        PatternError: when a key does not resolve to a node of ``patterns``.
+        PatternError: when a key does not resolve to a node of ``patterns``
+            or a target is neither an Id nor an iterable of Ids.
     """
     if not anchors:
         return {}
     known = {id(u) for q in patterns for u in q.root.iter_subtree()}
-    normalized: dict[int, int] = {}
-    for key, doc_id in anchors.items():
+    normalized: dict[int, frozenset] = {}
+    for key, target in anchors.items():
         if isinstance(key, PatternNode):
             uid = id(key)
             if uid not in known:
@@ -133,8 +145,32 @@ def normalize_anchors(
             uid = key
         else:
             raise PatternError(f"unsupported anchor key {key!r}")
-        normalized[uid] = int(doc_id)
+        normalized[uid] = _normalize_anchor_target(key, target)
     return normalized
+
+
+def _normalize_anchor_target(key, target) -> frozenset:
+    if isinstance(target, int) and not isinstance(target, bool):
+        return frozenset((target,))
+    if isinstance(target, str):
+        # A numeric string is the legacy scalar form (int(target) before
+        # Id sets existed) — it must NOT fall into the iterable branch,
+        # which would silently anchor to its digit characters.
+        try:
+            return frozenset((int(target),))
+        except ValueError:
+            raise PatternError(
+                f"anchor target {target!r} for {key!r} is not a document "
+                "node Id"
+            ) from None
+    try:
+        members = frozenset(int(doc_id) for doc_id in target)
+    except (TypeError, ValueError):
+        raise PatternError(
+            f"anchor target {target!r} for {key!r} is neither a document "
+            "node Id nor an iterable of Ids"
+        ) from None
+    return members
 
 
 def _resolve_path_key(
@@ -179,8 +215,13 @@ class EvaluationEngine:
             distributions are then consulted/filled under the canonical
             structural keys (:mod:`repro.store.api`), skipping whole
             subtrees whose evaluation a previous engine, session, or
-            process already performed.  Anchored restrictions bypass the
-            store (anchors pin node identity, not structure).
+            process already performed.  Anchored restrictions are keyed
+            by canonical anchor *positions* (digest-sorted rank paths),
+            so they share entries across isomorphic subtrees too.
+        anchored_store: give anchored restrictions canonical store keys
+            (default).  ``False`` restores the node-keyed behaviour where
+            anchored evaluations bypass the store entirely — kept as the
+            baseline for ``benchmarks/bench_anchored.py``.
 
     Attributes:
         visits: cumulative count of p-document nodes combined by the DP —
@@ -198,12 +239,14 @@ class EvaluationEngine:
         anchors: Optional[AnchorsLike] = None,
         backend: BackendLike = "exact",
         store: Optional[MemoStore] = None,
+        anchored_store: bool = True,
     ) -> None:
         self.p = p
         self.patterns = list(patterns)
         self.backend: NumericBackend = get_backend(backend)
         self.anchors = normalize_anchors(self.patterns, anchors)
         self.store = store
+        self.anchored_store = anchored_store
         self.visits = 0
         self._zero = self.backend.zero
         self._one = self.backend.one
@@ -282,31 +325,49 @@ class EvaluationEngine:
 
     def goal_table_fingerprint(
         self, labels: frozenset
-    ) -> tuple[tuple, bool]:
+    ) -> tuple[tuple, bool, tuple]:
         """Canonical form of the goal table restricted to ``labels``.
 
         Two engines whose fingerprints agree on a p-subtree's label set
-        compute bit-identical distributions on that subtree: every combine
-        step depends only on the subtree's structure and on the table
-        entries of labels occurring in it (``need`` masks referencing
-        absent-label goals can never be satisfied below, and absent goals'
-        bits never enter the masks, so the surrounding table is inert).
-        This is the cross-query memo key of :class:`repro.prob.session.
-        QuerySession`.
+        compute bit-identical distributions on that subtree — provided
+        their anchors pin corresponding nodes: every combine step depends
+        only on the subtree's structure, on the table entries of labels
+        occurring in it (``need`` masks referencing absent-label goals can
+        never be satisfied below, and absent goals' bits never enter the
+        masks, so the surrounding table is inert), and on which concrete
+        subtree nodes the anchored entries admit.  This is the cross-query
+        memo key of :class:`repro.prob.session.QuerySession`.
 
-        Returns ``(fingerprint, out_sensitive)`` — ``out_sensitive`` is
-        true when the restriction contains an output-node entry, i.e. when
-        the blocked (``_GRANT_NONE``) and unpinned (``_GRANT_ALL``)
-        evaluations of the subtree may differ.
+        Anchor *values* are abstracted out of the fingerprint: an anchored
+        entry carries a slot index instead of its document node Ids, and
+        the Ids are returned separately, in slot order.  The store layer
+        re-binds the slots to canonical anchor positions
+        (:meth:`repro.store.keys.SubtreeKeyer.store_key`), which is what
+        makes anchored evaluations shareable across isomorphic subtrees.
+
+        Returns ``(fingerprint, out_sensitive, anchor_targets)`` —
+        ``out_sensitive`` is true when the restriction contains an
+        output-node entry, i.e. when the blocked (``_GRANT_NONE``) and
+        unpinned (``_GRANT_ALL``) evaluations of the subtree may differ;
+        ``anchor_targets`` holds one sorted Id tuple per anchored entry
+        of the restriction (empty for unanchored restrictions).
         """
         items = []
+        targets: list[tuple] = []
         out_sensitive = False
         for label in sorted(self._table_labels & labels):
-            entries = tuple(self._by_label[label])
-            if not out_sensitive and any(entry[4] for entry in entries):
-                out_sensitive = True
-            items.append((label, entries))
-        return tuple(items), out_sensitive
+            entries = []
+            for d_bit, a_bit, need, anchor, is_out in self._by_label[label]:
+                if is_out:
+                    out_sensitive = True
+                if anchor is None:
+                    slot = None
+                else:
+                    slot = len(targets)
+                    targets.append(tuple(sorted(anchor)))
+                entries.append((d_bit, a_bit, need, slot, is_out))
+            items.append((label, tuple(entries)))
+        return tuple(items), out_sensitive, tuple(targets)
 
     @property
     def table_labels(self) -> frozenset:
@@ -431,7 +492,7 @@ class EvaluationEngine:
         if entries:
             node_id = node.node_id
             for d_bit, a_bit, need, anchor, is_out in entries:
-                if anchor is not None and anchor != node_id:
+                if anchor is not None and node_id not in anchor:
                     continue
                 if is_out and gate is _GRANT_NONE:
                     continue
@@ -454,6 +515,15 @@ class EvaluationEngine:
     def _mixture(self, probability, distribution: Distribution) -> Distribution:
         """``p · distribution + (1 − p) · δ_∅`` — one ind-edge mixture."""
         zero, one = self._zero, self._one
+        # Unit fast paths: the neutral-skip machinery mints unit
+        # distributions constantly, and mixing the unit (or mixing with
+        # p = 1) is the identity — skip the dict rebuild.
+        if probability == one:
+            return distribution
+        if len(distribution) == 1:
+            ((mask, value),) = distribution.items()
+            if mask == 0 and value == one:
+                return distribution
         result: Distribution = {}
         deficit = one - probability
         if deficit:
@@ -489,45 +559,25 @@ class EvaluationEngine:
         return memo[self.p.root.node_id]
 
     def _single_pass_stored(self) -> Distribution:
-        """Unpinned DP consulting/filling the structural memo store.
+        """Unpinned DP as a single lane of the shared stored traversal.
 
         Neutral subtrees (no goal-table label below) short-circuit to the
         unit distribution; subtrees whose canonical key is cached are not
-        traversed at all.
+        traversed at all.  With ``anchored_store`` (the default) anchored
+        restrictions probe the store under canonical anchor-position keys;
+        disabled, they are simply recomputed (the engine keeps no local
+        memo).
         """
-        store = self.store
-        assert store is not None
-        keyer = SubtreeKeyer(self.p, self, self.backend)
-        labels = self.p.label_index()
-        table_labels = self._table_labels
-        unit = {0: self._one}
-        memo: dict[int, Distribution] = {}
-        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            node_id = node.node_id
-            if not expanded:
-                label_set = labels[node_id]
-                if not (table_labels & label_set):
-                    memo[node_id] = unit
-                    continue
-                key = keyer.store_key(node_id, label_set, GATE_UNPINNED)
-                if key is not None:
-                    cached = store.get(key)
-                    if cached is not None:
-                        memo[node_id] = cached
-                        continue
-                stack.append((node, True))
-                stack.extend((child, False) for child in node.children)
-                continue
-            distribution = self.combine_unpinned(node, memo)
-            memo[node_id] = distribution
-            key = keyer.store_key(node_id, labels[node_id], GATE_UNPINNED)
-            if key is not None and not store.contains(key):
-                store.put(key, distribution, keyer.weight(node_id, distribution))
-            for child in node.children:
-                del memo[child.node_id]
-        return memo[self.p.root.node_id]
+        lane = Lane(
+            table_labels=self._table_labels,
+            combine=self.combine_unpinned,
+            unit={0: self._one},
+            keyer=SubtreeKeyer(
+                self.p, self, self.backend, anchored=self.anchored_store
+            ),
+            gate=GATE_UNPINNED,
+        )
+        return stored_postorder(self.p, [lane], self.store)[0]
 
     def _combine_single(self, node: PNode, memo: dict) -> Distribution:
         if node.kind is PNodeKind.ORDINARY:
@@ -603,48 +653,25 @@ class EvaluationEngine:
     def _pinned_pass_stored(
         self, candidate_set: frozenset
     ) -> tuple[Distribution, dict]:
-        """Pinned DP consulting/filling the structural memo store.
+        """Pinned DP as a single lane of the shared stored traversal.
 
         Only *blocked* distributions are content-addressable (pinned maps
         name candidate node Ids — document identity); subtrees holding no
         candidate are skipped on a store hit, candidate-bearing subtrees
         are combined normally and contribute their blocked halves.
         """
-        store = self.store
-        assert store is not None
-        keyer = SubtreeKeyer(self.p, self, self.backend)
-        labels = self.p.label_index()
-        table_labels = self._table_labels
-        live = self.p.ancestral_closure(candidate_set)
-        unit = {0: self._one}
-        memo: dict[int, tuple[Distribution, dict]] = {}
-        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            node_id = node.node_id
-            if not expanded:
-                if node_id not in live:
-                    label_set = labels[node_id]
-                    if not (table_labels & label_set):
-                        memo[node_id] = (unit, {})
-                        continue
-                    key = keyer.store_key(node_id, label_set, GATE_BLOCKED)
-                    if key is not None:
-                        cached = store.get(key)
-                        if cached is not None:
-                            memo[node_id] = (cached, {})
-                            continue
-                stack.append((node, True))
-                stack.extend((child, False) for child in node.children)
-                continue
-            entry = self.combine_pinned(node, memo, candidate_set)
-            memo[node_id] = entry
-            key = keyer.store_key(node_id, labels[node_id], GATE_BLOCKED)
-            if key is not None and not store.contains(key):
-                store.put(key, entry[0], keyer.weight(node_id, entry[0]))
-            for child in node.children:
-                del memo[child.node_id]
-        return memo[self.p.root.node_id]
+        lane = Lane(
+            table_labels=self._table_labels,
+            combine=partial(self.combine_pinned, candidate_set=candidate_set),
+            unit={0: self._one},
+            keyer=SubtreeKeyer(
+                self.p, self, self.backend, anchored=self.anchored_store
+            ),
+            live=self.p.ancestral_closure(candidate_set),
+            gate=GATE_BLOCKED,
+            pinned=True,
+        )
+        return stored_postorder(self.p, [lane], self.store)[0]
 
     def _combine_ordinary_pinned(
         self, node: PNode, memo: dict, candidate_set: frozenset

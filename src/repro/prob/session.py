@@ -38,10 +38,21 @@ its probabilistic extensions — already within a single cold pass, and
 processes.  The default store is a private
 :class:`repro.store.InMemoryStore` whose cost-aware LRU eviction
 (weight = support size × subtree size) keeps expensive hot entries under
-memory pressure instead of the old clear-at-capacity purge.  Anchored
-restrictions pin concrete node Ids (document identity, not structure);
-their entries live in a session-local node-keyed memo instead of the
-store.
+memory pressure instead of the old clear-at-capacity purge.  *Anchored*
+restrictions are content-addressed too: anchor values are abstracted out
+of the fingerprint and re-bound to canonical anchor *positions*
+(digest-sorted rank paths, :meth:`repro.pxml.pdocument.PDocument.
+anchor_index`), so the rewrite layer's Theorem-1/2 anchored traffic
+shares entries across extensions, subdocuments, restarts and isomorphic
+twin documents.  With ``anchored_store=False`` the historical node-keyed
+behaviour returns: anchored entries then live in a session-local memo
+(itself an :class:`~repro.store.InMemoryStore`, so the same
+GreedyDual-Size eviction replaces the old clear-at-capacity purge).
+
+All four store-consulting loops that used to live here and in the
+engine are now one shared skeleton —
+:func:`repro.prob.traversal.stored_postorder`; the session's passes are
+multi-lane instances of it.
 
 **Mutation epochs.**  When :attr:`repro.pxml.pdocument.PDocument.
 mutation_epoch` changes (code that mutates a p-document in place calls
@@ -60,10 +71,11 @@ denominator / α-pattern evaluations through
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Optional, Sequence, Union
 
 from ..probability import BackendLike, NumericBackend, get_backend
-from ..pxml.pdocument import PDocument, PNode
+from ..pxml.pdocument import PDocument
 from ..store import (
     GATE_BLOCKED,
     GATE_UNPINNED,
@@ -75,6 +87,7 @@ from ..store import (
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import TreePattern
 from .engine import AnchorsLike, EvaluationEngine
+from .traversal import Lane, stored_postorder
 
 __all__ = ["QuerySession", "SessionStats", "BooleanItem"]
 
@@ -91,13 +104,6 @@ BooleanItem = Union[
 _BLOCKED = GATE_BLOCKED
 _UNPINNED = GATE_UNPINNED
 
-# Sentinel recording a pre-check probe that missed.  The expanded visit
-# then uses a second-*chance* probe (:meth:`QuerySession._memo_reprobe`)
-# instead of a plain ``get``: it can still hit when an earlier query of
-# the same batch filled the identical key at this very node (same-pass
-# cross-query sharing), but a repeated miss is not re-counted.
-_MISS = object()
-
 
 @dataclass
 class SessionStats:
@@ -112,6 +118,10 @@ class SessionStats:
         memo_hits: per-query subtree evaluations answered from the
             structural store or the local anchored memo.
         memo_misses: per-query subtree evaluations computed and stored.
+        anchored_hits: the subset of ``memo_hits`` whose restriction was
+            anchored (store anchor-position keys, or the node-keyed local
+            memo when ``anchored_store=False``).
+        anchored_misses: the subset of ``memo_misses`` that was anchored.
         neutral_skips: per-query subtree evaluations short-circuited to
             the unit distribution because the subtree holds no goal-table
             label (no memo involved).
@@ -119,7 +129,7 @@ class SessionStats:
             every query of the batch was neutral or hit the memo at their
             root.
         invalidations: session cache resets (mutation epochs, manual
-            calls, local-memo capacity purges).
+            calls).
     """
 
     traversals: int = 0
@@ -127,6 +137,8 @@ class SessionStats:
     node_visits: int = 0
     memo_hits: int = 0
     memo_misses: int = 0
+    anchored_hits: int = 0
+    anchored_misses: int = 0
     neutral_skips: int = 0
     subtree_skips: int = 0
     invalidations: int = 0
@@ -144,14 +156,21 @@ class QuerySession:
         memoize: keep the cross-query subtree memo (default true).
         memo_limit: entry cap.  For the session-owned default store this
             is its ``max_entries`` (evicted cost-aware, entry by entry);
-            it also caps the local anchored memo (cleared coarsely at
-            capacity, as anchored workloads mint a fresh fingerprint per
-            anchor value).
+            it also caps the local anchored memo of the node-keyed
+            baseline, which now shares the same GreedyDual-Size eviction
+            (an :class:`~repro.store.InMemoryStore`) instead of the old
+            clear-at-capacity purge.
         store: a :class:`repro.store.MemoStore` to consult and fill —
             share one store between sessions (or pass a
             :class:`repro.store.SqliteStore`) for cross-document and
             cross-restart reuse.  Default: a private
             :class:`repro.store.InMemoryStore`.
+        anchored_store: content-address anchored restrictions under
+            canonical anchor-position keys in the structural store (the
+            default).  ``False`` restores the node-keyed behaviour:
+            anchored entries live in the session-local memo and die with
+            the session — kept as the baseline of
+            ``benchmarks/bench_anchored.py``.
 
     Attributes:
         stats: cumulative :class:`SessionStats`.
@@ -166,11 +185,13 @@ class QuerySession:
         memoize: bool = True,
         memo_limit: int = 1 << 18,
         store: Optional[MemoStore] = None,
+        anchored_store: bool = True,
     ) -> None:
         self.p = p
         self.backend: NumericBackend = get_backend(backend)
         self.memoize = memoize
         self.memo_limit = memo_limit
+        self.anchored_store = anchored_store
         if not memoize and store is not None:
             raise ValueError(
                 "memoize=False is contradictory with an explicit store: "
@@ -183,7 +204,13 @@ class QuerySession:
             store = InMemoryStore(max_entries=memo_limit)
         self.store = store
         self.stats = SessionStats()
-        self._local: dict = {}
+        # Node-keyed side memo for anchored entries when anchored_store
+        # is off; shares InMemoryStore's cost-aware GDS eviction.
+        self._local: Optional[InMemoryStore] = (
+            InMemoryStore(max_entries=memo_limit)
+            if memoize and not anchored_store
+            else None
+        )
         self._epoch = getattr(p, "mutation_epoch", 0)
         self._world = None
 
@@ -289,7 +316,8 @@ class QuerySession:
         """
         self.p.mark_mutated()
         self._epoch = self.p.mutation_epoch
-        self._local.clear()
+        if self._local is not None:
+            self._local.clear()
         self._world = None
         if self._owns_store and self.store is not None:
             self.store.clear()
@@ -299,7 +327,8 @@ class QuerySession:
     def memo_size(self) -> int:
         """Cached subtree entries visible to this session (store + local)."""
         store_size = len(self.store) if self.store is not None else 0
-        return store_size + len(self._local)
+        local_size = len(self._local) if self._local is not None else 0
+        return store_size + local_size
 
     # ------------------------------------------------------------------
     # Shared-pass machinery
@@ -311,7 +340,8 @@ class QuerySession:
             # change their digests and stop matching, untouched ones keep
             # hitting.  Only identity-keyed state is dropped.
             self._epoch = epoch
-            self._local.clear()
+            if self._local is not None:
+                self._local.clear()
             self._world = None
             self.stats.invalidations += 1
 
@@ -341,10 +371,11 @@ class QuerySession:
         document_key = self.p.identity_digest()
         sets: list[frozenset] = []
         for engine, query in zip(engines, queries):
-            table, _ = engine.goal_table_fingerprint(engine.table_labels)
+            table, _, _ = engine.goal_table_fingerprint(engine.table_labels)
             key = (
                 document_key,
                 fingerprint_digest(table),
+                None,
                 "candidates",
                 "node-ids",
             )
@@ -367,67 +398,12 @@ class QuerySession:
         return sets
 
     # ------------------------------------------------------------------
-    # Memo routing: structural store vs local anchored memo
+    # Shared passes: lanes over the one store-consulting skeleton
     # ------------------------------------------------------------------
-    def _memo_token(
-        self, keyer: SubtreeKeyer, node_id: int, label_set: frozenset, gate: str
-    ) -> tuple:
-        """Routing token ``(is_local, key, node_id, keyer)`` for one entry.
-
-        Unanchored restrictions get canonical store keys (shareable by
-        structure); anchored ones fall back to a node-identity key in the
-        session-local memo — an anchor pins a concrete node Id, so the
-        distribution is not transferable to isomorphic subtrees.
-        """
-        fingerprint, out_sensitive, anchored = keyer.describe(label_set)
-        effective = gate if out_sensitive else None
-        if anchored:
-            return (True, (node_id, fingerprint, effective), node_id, keyer)
-        return (
-            False,
-            (keyer.digests[node_id], fingerprint, effective, keyer.backend_name),
-            node_id,
-            keyer,
+    def _keyer(self, engine: EvaluationEngine) -> SubtreeKeyer:
+        return SubtreeKeyer(
+            self.p, engine, self.backend, anchored=self.anchored_store
         )
-
-    def _memo_get(self, token: tuple) -> Optional[dict]:
-        if token[0]:
-            return self._local.get(token[1])
-        return self.store.get(token[1])  # type: ignore[union-attr]
-
-    def _memo_reprobe(self, token: tuple) -> Optional[dict]:
-        """Second-chance probe after a counted pre-check miss.
-
-        Hits only when an earlier query of the same pass filled the key
-        at this very node (same-pass cross-query sharing); a repeated
-        miss is answered from :meth:`MemoStore.contains` and not counted
-        a second time.
-        """
-        if token[0]:
-            return self._local.get(token[1])
-        store = self.store
-        assert store is not None
-        if store.contains(token[1]):
-            return store.get(token[1])
-        return None
-
-    def _memo_save(self, token: tuple, distribution: dict) -> None:
-        is_local, key, node_id, keyer = token
-        if is_local:
-            if len(self._local) >= self.memo_limit:
-                # Anchored workloads mint a fresh fingerprint per anchor
-                # value; bound this identity-keyed side memo coarsely.
-                self._local.clear()
-                self.stats.invalidations += 1
-            self._local[key] = distribution
-        else:
-            store = self.store
-            assert store is not None
-            # Live-spine entries are recombined every pass without a prior
-            # probe; equal keys mean equal distributions, so skip the
-            # redundant re-store (a disk write per node on SqliteStore).
-            if not store.contains(key):
-                store.put(key, distribution, keyer.weight(node_id, distribution))
 
     def _pinned_batch_pass(
         self,
@@ -437,213 +413,59 @@ class QuerySession:
     ) -> list[dict]:
         """One shared post-order pass computing every query's pinned map.
 
-        Per query and node the pass either short-circuits a *neutral*
-        subtree (no goal-table label below ⇒ the distribution is the unit
-        ``{∅: 1}``), reuses a memoized blocked distribution (counted as a
-        hit), or calls the query's
-        :meth:`EvaluationEngine.combine_pinned`.  When *every* query of
-        the batch is neutral or hits the memo at a subtree root, the
-        subtree is not traversed at all.
+        Each query is one pinned :class:`~repro.prob.traversal.Lane` of
+        :func:`~repro.prob.traversal.stored_postorder`: per query and
+        node the pass either short-circuits a *neutral* subtree (no
+        goal-table label below ⇒ the distribution is the unit ``{∅: 1}``),
+        reuses a memoized blocked distribution (counted as a hit), or
+        calls the query's :meth:`EvaluationEngine.combine_pinned`.  When
+        *every* query of the batch is neutral or hits the memo at a
+        subtree root, the subtree is not traversed at all.
         """
         use_memo = self.store is not None
-        labels = self.p.label_index()
-        keyers = (
-            [SubtreeKeyer(self.p, engine, self.backend) for engine in engines]
-            if use_memo
-            else None
-        )
         unit = {0: self.backend.one}
-        count = len(engines)
-        indices = range(count)
-        table_labels = [engine.table_labels for engine in engines]
-        combines = [engine.combine_pinned for engine in engines]
-        entries: list[dict] = [{} for _ in indices]
-        # Pre-check probe results (distribution or _MISS, per query index)
-        # stashed per node so the expanded visit never probes twice.
-        probes: dict[int, list] = {}
-        stats = self.stats
-        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            node_id = node.node_id
-            if not expanded:
-                label_set = labels[node_id]
-                neutral = 0
-                probed: list = []
-                skip = True
-                for i in indices:
-                    if node_id in live_sets[i]:
-                        skip = False
-                        break
-                    if not (table_labels[i] & label_set):
-                        probed.append(unit)
-                        neutral += 1
-                        continue
-                    if not use_memo:
-                        skip = False
-                        break
-                    cached = self._memo_get(
-                        self._memo_token(keyers[i], node_id, label_set, _BLOCKED)
-                    )
-                    if cached is None:
-                        probed.append(_MISS)
-                        skip = False
-                        break
-                    probed.append(cached)
-                if skip:
-                    for i in indices:
-                        entries[i][node_id] = (probed[i], {})
-                    stats.memo_hits += count - neutral
-                    stats.neutral_skips += neutral
-                    stats.subtree_skips += 1
-                    continue
-                if probed:
-                    probes[node_id] = probed
-                stack.append((node, True))
-                stack.extend((child, False) for child in node.children)
-                continue
-            stats.node_visits += 1
-            label_set = labels[node_id]
-            children = node.children
-            probed = probes.pop(node_id, ())
-            for i in indices:
-                entry_map = entries[i]
-                if node_id not in live_sets[i]:
-                    if not (table_labels[i] & label_set):
-                        entry_map[node_id] = (unit, {})
-                        stats.neutral_skips += 1
-                    elif use_memo:
-                        token = self._memo_token(
-                            keyers[i], node_id, label_set, _BLOCKED
-                        )
-                        blocked = probed[i] if i < len(probed) else None
-                        if blocked is None:
-                            blocked = self._memo_get(token)
-                        elif blocked is _MISS:
-                            blocked = self._memo_reprobe(token)
-                        if blocked is not None:
-                            entry_map[node_id] = (blocked, {})
-                            stats.memo_hits += 1
-                        else:
-                            blocked, _ = combines[i](
-                                node, entry_map, candidate_sets[i]
-                            )
-                            entry_map[node_id] = (blocked, {})
-                            self._memo_save(token, blocked)
-                            stats.memo_misses += 1
-                    else:
-                        entry_map[node_id] = (
-                            combines[i](node, entry_map, candidate_sets[i])[0],
-                            {},
-                        )
-                else:
-                    entry = combines[i](node, entry_map, candidate_sets[i])
-                    entry_map[node_id] = entry
-                    if use_memo:
-                        token = self._memo_token(
-                            keyers[i], node_id, label_set, _BLOCKED
-                        )
-                        self._memo_save(token, entry[0])
-                for child in children:
-                    entry_map.pop(child.node_id, None)
-        stats.traversals += 1
-        root_id = self.p.root.node_id
-        return [entries[i].pop(root_id)[1] for i in indices]
+        lanes = [
+            Lane(
+                table_labels=engine.table_labels,
+                combine=partial(engine.combine_pinned, candidate_set=candidates),
+                unit=unit,
+                keyer=self._keyer(engine) if use_memo else None,
+                live=live,
+                gate=_BLOCKED,
+                pinned=True,
+            )
+            for engine, candidates, live in zip(
+                engines, candidate_sets, live_sets
+            )
+        ]
+        roots = stored_postorder(
+            self.p, lanes, self.store, self._local, self.stats
+        )
+        self.stats.traversals += 1
+        return [root[1] for root in roots]
 
     def _unpinned_batch_pass(
         self, engines: list[EvaluationEngine]
     ) -> list[dict]:
         """Shared pass for Boolean batches (unpinned distributions).
 
-        Same structure as :meth:`_pinned_batch_pass` — neutral-subtree
-        short-circuit, memo consult/fill, subtree skips — without the
-        pinned (per-candidate) machinery.
+        Same skeleton as :meth:`_pinned_batch_pass` — one unpinned lane
+        per item, without the pinned (per-candidate) machinery.
         """
         use_memo = self.store is not None
-        labels = self.p.label_index()
-        keyers = (
-            [SubtreeKeyer(self.p, engine, self.backend) for engine in engines]
-            if use_memo
-            else None
-        )
         unit = {0: self.backend.one}
-        count = len(engines)
-        indices = range(count)
-        entries: list[dict] = [{} for _ in indices]
-        probes: dict[int, list] = {}
-        stats = self.stats
-        stack: list[tuple[PNode, bool]] = [(self.p.root, False)]
-        while stack:
-            node, expanded = stack.pop()
-            node_id = node.node_id
-            if not expanded:
-                label_set = labels[node_id]
-                neutral = 0
-                probed: list = []
-                skip = True
-                for i in indices:
-                    if not (engines[i].table_labels & label_set):
-                        probed.append(unit)
-                        neutral += 1
-                        continue
-                    if not use_memo:
-                        skip = False
-                        break
-                    cached = self._memo_get(
-                        self._memo_token(
-                            keyers[i], node_id, label_set, _UNPINNED
-                        )
-                    )
-                    if cached is None:
-                        probed.append(_MISS)
-                        skip = False
-                        break
-                    probed.append(cached)
-                if skip:
-                    for i in indices:
-                        entries[i][node_id] = probed[i]
-                    stats.memo_hits += count - neutral
-                    stats.neutral_skips += neutral
-                    stats.subtree_skips += 1
-                    continue
-                if probed:
-                    probes[node_id] = probed
-                stack.append((node, True))
-                stack.extend((child, False) for child in node.children)
-                continue
-            stats.node_visits += 1
-            label_set = labels[node_id]
-            probed = probes.pop(node_id, ())
-            for i in indices:
-                entry_map = entries[i]
-                if not (engines[i].table_labels & label_set):
-                    entry_map[node_id] = unit
-                    stats.neutral_skips += 1
-                elif use_memo:
-                    token = self._memo_token(
-                        keyers[i], node_id, label_set, _UNPINNED
-                    )
-                    distribution = probed[i] if i < len(probed) else None
-                    if distribution is None:
-                        distribution = self._memo_get(token)
-                    elif distribution is _MISS:
-                        distribution = self._memo_reprobe(token)
-                    if distribution is not None:
-                        entry_map[node_id] = distribution
-                        stats.memo_hits += 1
-                    else:
-                        distribution = engines[i].combine_unpinned(
-                            node, entry_map
-                        )
-                        entry_map[node_id] = distribution
-                        self._memo_save(token, distribution)
-                        stats.memo_misses += 1
-                else:
-                    entry_map[node_id] = engines[i].combine_unpinned(
-                        node, entry_map
-                    )
-                for child in node.children:
-                    entry_map.pop(child.node_id, None)
-        stats.traversals += 1
-        root_id = self.p.root.node_id
-        return [entries[i].pop(root_id) for i in indices]
+        lanes = [
+            Lane(
+                table_labels=engine.table_labels,
+                combine=engine.combine_unpinned,
+                unit=unit,
+                keyer=self._keyer(engine) if use_memo else None,
+                gate=_UNPINNED,
+            )
+            for engine in engines
+        ]
+        roots = stored_postorder(
+            self.p, lanes, self.store, self._local, self.stats
+        )
+        self.stats.traversals += 1
+        return roots

@@ -197,6 +197,12 @@ def get_backend(backend: BackendLike) -> NumericBackend:
                 f"unknown numeric backend {backend!r}; "
                 f"available: {sorted(BACKENDS)}"
             ) from None
-    if isinstance(backend, NumericBackend):
+    # Pass the registry's own instances through without the (expensive)
+    # runtime-Protocol check — get_backend sits on the engine/session
+    # construction hot path, called once per batch item.
+    if type(backend) in _BACKEND_TYPES or isinstance(backend, NumericBackend):
         return backend
     raise ProbabilityError(f"not a numeric backend: {backend!r}")
+
+
+_BACKEND_TYPES = frozenset(type(instance) for instance in BACKENDS.values())

@@ -19,7 +19,7 @@ from typing import Iterable, Iterator, Optional
 
 from ..errors import PDocumentError
 from ..probability import ONE, ZERO
-from ..store.digest import compute_index, fingerprint_digest
+from ..store.digest import compute_index, compute_positions, fingerprint_digest
 from ..xml.document import DocNode, Document
 
 __all__ = ["PNodeKind", "PNode", "PDocument"]
@@ -122,6 +122,7 @@ class PDocument:
         self._structural_index: Optional[tuple] = None
         self._label_index: Optional[tuple] = None
         self._identity_digest: Optional[tuple] = None
+        self._anchor_index: Optional[tuple] = None
         for n in root.iter_subtree():
             if n.node_id in self._index:
                 raise PDocumentError(f"duplicate node Id {n.node_id}")
@@ -299,6 +300,28 @@ class PDocument:
         digest = fingerprint_digest(self.canonical_key(with_ids=True))
         self._identity_digest = (self._mutation_epoch, digest)
         return digest
+
+    def anchor_index(self) -> dict[int, tuple]:
+        """``node_id -> canonical rank path``, cached per mutation epoch.
+
+        The rank path (see :func:`repro.store.digest.compute_positions`)
+        locates a node by *structure*: at every ancestor the children are
+        ordered by their digest sort key, and the path records the ranks
+        from the root down.  Because ranks are derived from the digests,
+        equal rank paths in digest-equal subtrees name corresponding
+        nodes under an isomorphism — which is what lets *anchored*
+        subtree evaluations share canonical store keys
+        (:meth:`repro.store.keys.SubtreeKeyer.store_key`).  A node's
+        position *relative to a subtree root* is the suffix of its rank
+        path after the root's.
+        """
+        cached = self._anchor_index
+        if cached is not None and cached[0] == self._mutation_epoch:
+            return cached[1]
+        digests, _ = self.structural_index()
+        positions = compute_positions(self.root, digests)
+        self._anchor_index = (self._mutation_epoch, positions)
+        return positions
 
     def subtree_size(self, node_id: int) -> int:
         """Number of nodes (ordinary and distributional) under ``node_id``."""

@@ -275,6 +275,10 @@ def _definition_holds(
     tolerance: float = 1e-9,
 ) -> bool:
     resolved = get_backend(backend)
+    # One session per sampled document: the three anchored probabilities
+    # per node are content-addressed (canonical anchor positions), so
+    # subtrees away from the anchored node share one store entry across
+    # all nodes of the sweep instead of re-evaluating per anchor value.
     session = QuerySession(p, backend=resolved)
     for n in p.ordinary_nodes():
         appearance = p.appearance_probability(n.node_id)

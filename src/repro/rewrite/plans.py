@@ -20,6 +20,18 @@ inner evaluations — Theorem 1's numerators and denominators, Theorem 2's
 over the extension p-document, so that a whole `evaluate()` call shares
 one cross-query subtree memo instead of spawning a fresh exact evaluator
 per candidate node.
+
+The paper's ``Id(n)``-marker device is realized through *engine anchors*
+rather than marker pattern nodes: pinning a pattern node to the set of
+``n``'s occurrence copies (:meth:`repro.views.extension.
+ProbabilisticViewExtension.occurrence_copies`) is equivalent to
+requiring an ``Id(n)`` marker child, but keeps the goal table identical
+across candidates — anchor values are abstracted out of the memo
+fingerprints and re-bound to canonical anchor *positions*
+(:mod:`repro.store.keys`), so the per-holder numerators, denominators
+and α-pattern conjunctions that dominate Theorem-1/2 answering become
+content-addressed store traffic instead of always-cold node-keyed work
+(measured by ``benchmarks/bench_anchored.py``).
 """
 
 from __future__ import annotations
@@ -31,16 +43,12 @@ from typing import Callable, Optional, Sequence, Union
 
 from ..errors import RewritingError
 from ..probability import BackendLike, ZERO, as_fraction, get_backend
-from ..prob.engine import boolean_probability
 from ..prob.session import QuerySession
 from ..store import MemoStore
 from ..tp import ops
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
-from ..views.extension import (
-    ProbabilisticViewExtension,
-    anchor_via_marker,
-)
+from ..views.extension import ProbabilisticViewExtension
 from ..views.view import View, parse_marker_label
 from .linsys import exact_power
 
@@ -70,7 +78,12 @@ class TPRewritePlan:
             and their subdocuments — with a store shared with the base
             document (as :class:`repro.cache.RewritingCache` does),
             isomorphic subtrees of the document and its extensions share
-            one evaluation.
+            one evaluation, and the plan's anchored Theorem-1/2 traffic
+            shares canonical anchor-position entries.
+        anchored_store: content-address the plan's anchored evaluations
+            (default).  ``False`` = node-keyed baseline: anchored entries
+            stay in session-local memos and die with each per-extension
+            session (``benchmarks/bench_anchored.py``).
     """
 
     query: TreePattern
@@ -82,6 +95,7 @@ class TPRewritePlan:
     u: int
     backend: BackendLike = "exact"
     store: Optional[MemoStore] = None
+    anchored_store: bool = True
     # Per-extension evaluation caches, single-slot keyed on the extension's
     # identity (all entries are derived from one extension's p-document and
     # must never leak to another): the session over the extension document
@@ -89,6 +103,16 @@ class TPRewritePlan:
     # and Theorem 2's per-holder subdocument sessions.
     _extension_caches: Optional[tuple] = field(
         default=None, init=False, repr=False, compare=False
+    )
+    # Extension-independent derived patterns, built once per plan: the
+    # denominator pattern ``v_(k)``, the view's last token and its
+    # main-branch length, and the α-conjuncts per overlap length ``s``
+    # (identical across candidates and holders).
+    _derived: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _alpha_cache: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
     )
 
     # -- probability function f_r ----------------------------------------
@@ -145,6 +169,7 @@ class TPRewritePlan:
                     extension.pdocument,
                     backend=self.backend,
                     store=self.store,
+                    anchored_store=self.anchored_store,
                 ),
                 {},
                 {},
@@ -193,28 +218,45 @@ class TPRewritePlan:
         n_a = self._relevant_holder(extension, node_id, holders)
         if n_a is None:
             return backend.zero
+        # Engine-anchored Id(n) device: out(q_r) pinned to n's occurrence
+        # copies keeps the goal table candidate-independent, so the DP's
+        # subtree work is content-addressed in the structural store.
         numerator = session.boolean_probability(
-            anchor_via_marker(self.qr, node_id)
+            self.qr, {self.qr.out: extension.occurrence_copies(node_id)}
         )
         denominator = self._denominator(extension, n_a, backend)
         if not denominator:
             return backend.zero
         return numerator / denominator
 
+    def _suffix_and_token(self) -> tuple:
+        """``(v_(k), last token, m)``, derived from the view once per plan."""
+        cached = self._derived
+        if cached is None:
+            token = ops.last_token(self.view.pattern)
+            cached = self._derived = (
+                ops.suffix(self.view.pattern, self.k),
+                token,
+                token.main_branch_length(),
+            )
+        return cached
+
     def _denominator(
         self, extension: ProbabilisticViewExtension, holder: int, backend
     ):
-        """``Pr(n_a ∈ v_(k)(P_v^{n_a}))``, cached per extension and holder."""
+        """``Pr(n_a ∈ v_(k)(P_v^{n_a}))``, cached per extension and holder.
+
+        Evaluated through the holder's subdocument session, so Theorem 1's
+        denominators and Theorem 2's base factors share one memo (and,
+        with a store, one set of content-addressed entries).
+        """
         _, denominators, _ = self._caches_for(extension)
         key = (holder, backend.name)
         if key not in denominators:
-            out_token_node = ops.suffix(self.view.pattern, self.k)
-            denominators[key] = boolean_probability(
-                extension.result_subdocument(holder),
-                out_token_node,
-                backend=backend,
-                store=self.store,
-            )
+            out_token_node, _, _ = self._suffix_and_token()
+            denominators[key] = self._subdocument_session(
+                extension, holder
+            ).boolean_probability(out_token_node)
         return denominators[key]
 
     def _fr_inclusion_exclusion(
@@ -224,51 +266,87 @@ class TPRewritePlan:
         holders: list[int],
         backend,
     ):
-        """Theorem 2 / Lemma 1: ``Pr(∨ e_i)`` by inclusion-exclusion."""
+        """Theorem 2 / Lemma 1: ``Pr(∨ e_i)`` by inclusion-exclusion.
+
+        Each subset's joint probability decomposes as the top holder's
+        base factor ``Pr(n_{i0} ∈ v(P)) ÷ Pr(n_{i0} ∈ v_(k)(P_v^{n_{i0}}))``
+        times a conjunction evaluated inside ``P̂_v^{n_{i0}}`` — so all
+        subsets sharing a top holder are batched through **one** shared
+        session pass (:meth:`QuerySession.boolean_many`) over that
+        holder's subdocument instead of one traversal per subset.
+        """
         total = backend.zero
         one = backend.one
         indices = range(len(holders))
+        by_top: dict[int, list[tuple]] = {}
         for size in range(1, len(holders) + 1):
             sign = one if size % 2 == 1 else -one
             for subset in itertools.combinations(indices, size):
-                joint = self._joint_event_probability(
-                    extension, node_id, [holders[i] for i in subset], backend
-                )
-                total = total + sign * joint
+                chosen = [holders[i] for i in subset]
+                by_top.setdefault(chosen[0], []).append((sign, chosen))
+        for top, group in by_top.items():
+            denominator = self._denominator(extension, top, backend)
+            if not denominator:
+                continue
+            base = backend.convert(extension.selection[top]) / denominator
+            items = [
+                self._joint_event_item(extension, node_id, subset)
+                for _, subset in group
+            ]
+            probabilities = self._subdocument_session(
+                extension, top
+            ).boolean_many(items)
+            for (sign, _), probability in zip(group, probabilities):
+                total = total + sign * (base * probability)
         return total
 
-    def _joint_event_probability(
+    def _joint_event_item(
         self,
         extension: ProbabilisticViewExtension,
         node_id: int,
         subset: list[int],
-        backend,
-    ):
-        """``Pr(∩_{i∈S} e_i)`` per Theorem 2's α-pattern construction.
+    ) -> tuple:
+        """The ``(patterns, anchors)`` Boolean item for ``Pr(∩_{i∈S} e_i)``
+        per Theorem 2's α-pattern construction, evaluated inside the top
+        holder's result subdocument.
 
-        ``subset`` is ordered top-down; its head ``n_{i0}`` supplies the base
-        factor ``Pr(n_{i0} ∈ v(P)) ÷ Pr(n_{i0} ∈ v_(k)(P_v^{n_{i0}}))``, and
-        all remaining events are tested jointly inside ``P̂_v^{n_{i0}}``.
-        All conjuncts are evaluated through one session per subtree root, so
-        candidates sharing a holder also share its subtree memo.
+        ``subset`` is ordered top-down; its head contributes the base
+        factor (handled by the caller), and all remaining events are
+        tested jointly below it.  The ``Id(·)`` pins are engine anchors
+        (occurrence-copy sets keyed by ``(component index, pattern
+        path)``), so the conjunction's subtree work is content-addressed
+        under anchor-position keys and the conjunct patterns themselves
+        are candidate-independent (cached per overlap length).
         """
         top = subset[0]
-        sub_session = self._subdocument_session(extension, top)
-        out_token_node = ops.suffix(self.view.pattern, self.k)
-        denominator = sub_session.boolean_probability(out_token_node)
-        if not denominator:
-            return backend.zero
-        base = backend.convert(extension.selection[top]) / denominator
-        components = [anchor_via_marker(self.compensation, node_id)]
-        token = ops.last_token(self.view.pattern)
-        m = token.main_branch_length()
-        for deeper in subset[1:]:
+        sub = extension.result_subdocument(top)
+        anchors: dict = {}
+
+        def pin(index: int, path: tuple, original_id: int) -> None:
+            admissible = extension.occurrence_copies(original_id, within=sub)
+            key = (index, path)
+            if key in anchors:
+                # Two pins landing on one pattern node (a trivial
+                # compensation coalesces the α-chain's out with the final
+                # out): the node must be a copy of both originals at once.
+                anchors[key] = tuple(
+                    set(anchors[key]) & set(admissible)
+                )
+            else:
+                anchors[key] = admissible
+
+        components = [self.compensation]
+        pin(0, self.compensation.path_to(self.compensation.out), node_id)
+        _, token, m = self._suffix_and_token()
+        for index, deeper in enumerate(subset[1:], start=1):
             s = extension.nodes_between(top, deeper)
-            components.append(
-                self._alpha_component(token, m, s, deeper, node_id)
+            component, (deeper_path, out_path) = self._alpha_component(
+                token, m, s
             )
-        probability = sub_session.boolean_many([(components, None)])[0]
-        return base * probability
+            components.append(component)
+            pin(index, deeper_path, deeper)
+            pin(index, out_path, node_id)
+        return (components, anchors)
 
     def _subdocument_session(
         self, extension: ProbabilisticViewExtension, top: int
@@ -281,35 +359,50 @@ class TPRewritePlan:
                 extension.result_subdocument(top),
                 backend=self.backend,
                 store=self.store,
+                anchored_store=self.anchored_store,
             )
         return session
 
     def _alpha_component(
-        self,
-        token: TreePattern,
-        m: int,
-        s: int,
-        deeper_id: int,
-        node_id: int,
-    ) -> TreePattern:
+        self, token: TreePattern, m: int, s: int
+    ) -> tuple[TreePattern, tuple[tuple, tuple]]:
         """One α-pattern conjunct testing a deeper event ``e_j`` (§4.4).
 
         When the token images cannot overlap (``s > m``), the full last token
         is re-matched below the subtree root through a ``//``-edge; when they
         may overlap (``s ≤ m``), only the bottom ``s`` token nodes are
         matched, starting *at* the subtree root.
+
+        Returns the conjunct together with the structural paths of its
+        two pin points — the re-matched token's out (to be anchored at
+        the deeper event's copies) and the grafted compensation's out (to
+        be anchored at the candidate's copies); the caller binds both
+        through engine anchors.  Conjuncts are cached per ``s``: with the
+        ``Id(·)`` pins moved out of the pattern and into anchors, the
+        construction no longer depends on the candidate or the deeper
+        node.  (Within one subset the ``s`` values are strictly
+        increasing, so one TP∩ item never holds the same object twice.)
         """
+        cached = self._alpha_cache.get(s)
+        if cached is not None:
+            return cached
         if s > m:
-            chain = anchor_via_marker(token, deeper_id)
+            chain, mapping = token.copy_with_mapping()
+            chain_out = mapping[id(token.out)]
             root = PatternNode(self.view.pattern.out.label, Axis.CHILD)
             chain_root = chain.root
             chain_root.axis = Axis.DESC
             root.add_child(chain_root)
-            anchored = TreePattern(root, chain.out)
+            anchored = TreePattern(root, chain_out)
         else:
-            anchored = anchor_via_marker(ops.token_suffix_chain(token, s), deeper_id)
+            anchored = ops.token_suffix_chain(token, s)
         full = ops.compensation(anchored, self.compensation)
-        return anchor_via_marker(full, node_id)
+        # comp() coalesces the compensation root with anchored.out, so the
+        # pin point survives as the main-branch node at anchored's depth.
+        merge = full.main_branch()[anchored.main_branch_length() - 1]
+        result = (full, (full.path_to(merge), full.path_to(full.out)))
+        self._alpha_cache[s] = result
+        return result
 
     # -- full plan evaluation --------------------------------------------
     def evaluate(
@@ -370,7 +463,10 @@ class TPRewritePlan:
             zip(
                 evaluable,
                 session.boolean_many(
-                    [anchor_via_marker(self.qr, n) for n in evaluable]
+                    [
+                        (self.qr, {self.qr.out: extension.occurrence_copies(n)})
+                        for n in evaluable
+                    ]
                 ),
             )
         )

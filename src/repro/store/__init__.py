@@ -17,8 +17,14 @@ extensions, or any documents with isomorphic subtrees), across
 :class:`SqliteStore` — across process restarts.
 """
 
-from .api import GATE_BLOCKED, GATE_UNPINNED, MemoStore, StoreKey
-from .digest import compute_index, fingerprint_digest
+from .api import (
+    GATE_BLOCKED,
+    GATE_UNPINNED,
+    MemoStore,
+    StoreKey,
+    is_anchored_key,
+)
+from .digest import compute_index, compute_positions, fingerprint_digest
 from .keys import SubtreeKeyer
 from .memory import InMemoryStore
 from .sqlite import SqliteStore, open_store
@@ -33,5 +39,7 @@ __all__ = [
     "open_store",
     "SubtreeKeyer",
     "compute_index",
+    "compute_positions",
     "fingerprint_digest",
+    "is_anchored_key",
 ]

@@ -2,9 +2,9 @@
 
 A *memo store* maps canonical keys to goal-set distributions (the
 per-subtree blocked / unpinned evaluations of :mod:`repro.prob.engine`).
-Keys are 4-tuples
+Keys are 5-tuples
 
-    ``(structure, fingerprint, gate, backend)``
+    ``(structure, fingerprint, anchor, gate, backend)``
 
 * ``structure`` — the structural digest of the p-subtree
   (:meth:`repro.pxml.pdocument.PDocument.structural_digest`): node kinds,
@@ -12,7 +12,15 @@ Keys are 4-tuples
 * ``fingerprint`` — the digest of the evaluating engine's goal table
   restricted to the labels occurring in the subtree
   (:meth:`repro.prob.engine.EvaluationEngine.goal_table_fingerprint`
-  hashed by :func:`repro.store.digest.fingerprint_digest`);
+  hashed by :func:`repro.store.digest.fingerprint_digest`), with anchor
+  *values* abstracted into slots;
+* ``anchor`` — ``None`` for unanchored restrictions; for anchored ones
+  the canonical anchor-position encoding: one tuple per anchor slot
+  holding the sorted *rank paths* (digest-sorted child order, relative
+  to the keyed subtree's root) of the admissible document nodes inside
+  the subtree.  Positions are isomorphism-invariant, which is what turns
+  the rewrite layer's anchored Theorem-1/2 traffic into shareable
+  content-addressed entries (see :mod:`repro.store.keys`);
 * ``gate`` — :data:`GATE_BLOCKED` / :data:`GATE_UNPINNED`, or ``None``
   when the restriction holds no output-node entry and the two evaluations
   coincide;
@@ -29,11 +37,12 @@ a pure content-addressed function table.
 
 One deliberate exception rides in the same store:
 :class:`repro.prob.session.QuerySession` caches per-query *candidate-Id
-sets* under ``(identity digest, full-table fingerprint, "candidates",
-"node-ids")``.  Those values name node Ids, so their first component is
-the Id-*aware* :meth:`~repro.pxml.pdocument.PDocument.identity_digest`
-(two isomorphic documents with different Id assignments never share
-them), and the payload is the ``{node_id: 1.0}`` indicator map.
+sets* under ``(identity digest, full-table fingerprint, None,
+"candidates", "node-ids")``.  Those values name node Ids, so their first
+component is the Id-*aware*
+:meth:`~repro.pxml.pdocument.PDocument.identity_digest` (two isomorphic
+documents with different Id assignments never share them), and the
+payload is the ``{node_id: 1.0}`` indicator map.
 
 Every ``put`` carries a *weight* — by convention the distribution's
 support size times the subtree size, an estimate of the recomputation
@@ -47,7 +56,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Optional
 
-__all__ = ["GATE_BLOCKED", "GATE_UNPINNED", "StoreKey", "MemoStore"]
+__all__ = [
+    "GATE_BLOCKED",
+    "GATE_UNPINNED",
+    "StoreKey",
+    "MemoStore",
+    "is_anchored_key",
+]
 
 #: Gate tag: output-node D-goals suppressed (the "blocked" evaluations of
 #: the single-pass answer DP).
@@ -55,8 +70,18 @@ GATE_BLOCKED = "blocked"
 #: Gate tag: output-node D-goals granted normally (Boolean / anchored runs).
 GATE_UNPINNED = "unpinned"
 
-#: ``(structure, fingerprint, Optional[gate], backend)``.
+#: ``(structure, fingerprint, Optional[anchor], Optional[gate], backend)``.
 StoreKey = tuple
+
+
+def is_anchored_key(key: StoreKey) -> bool:
+    """Whether a store key carries an anchor-position component.
+
+    Stores use this to split their hit/miss/put counters into anchored
+    and unanchored traffic (surfaced by :meth:`MemoStore.stats`,
+    :meth:`repro.cache.RewritingCache.stats` and ``repro store stats``).
+    """
+    return len(key) == 5 and key[2] is not None
 
 
 class MemoStore(ABC):
@@ -70,6 +95,12 @@ class MemoStore(ABC):
     Attributes:
         hits / misses / puts / evictions: cumulative counters, also
             surfaced by :meth:`stats`.
+        anchored_hits / anchored_misses / anchored_puts: the subset of the
+            traffic whose keys carry an anchor-position component
+            (:func:`is_anchored_key`) — the rewrite layer's Theorem-1/2
+            anchored evaluations.  Concrete ``get``/``put``
+            implementations maintain them via :meth:`_count_get` /
+            :meth:`_count_put`.
     """
 
     def __init__(self) -> None:
@@ -77,6 +108,26 @@ class MemoStore(ABC):
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.anchored_hits = 0
+        self.anchored_misses = 0
+        self.anchored_puts = 0
+
+    def _count_get(self, key: StoreKey, hit: bool) -> None:
+        """Update the hit/miss counters for one ``get`` probe."""
+        if hit:
+            self.hits += 1
+            if is_anchored_key(key):
+                self.anchored_hits += 1
+        else:
+            self.misses += 1
+            if is_anchored_key(key):
+                self.anchored_misses += 1
+
+    def _count_put(self, key: StoreKey) -> None:
+        """Update the put counters for one ``put``."""
+        self.puts += 1
+        if is_anchored_key(key):
+            self.anchored_puts += 1
 
     @abstractmethod
     def get(self, key: StoreKey) -> Optional[dict]:
@@ -111,6 +162,9 @@ class MemoStore(ABC):
             "puts": self.puts,
             "evictions": self.evictions,
             "entries": len(self),
+            "anchored_hits": self.anchored_hits,
+            "anchored_misses": self.anchored_misses,
+            "anchored_puts": self.anchored_puts,
         }
 
     def flush(self) -> None:

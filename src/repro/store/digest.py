@@ -22,13 +22,35 @@ and recomputed lazily after :meth:`PDocument.mark_mutated`.  This module
 is deliberately ignorant of the pxml classes — it reads ``kind`` /
 ``label`` / ``children`` / ``probabilities`` duck-typed, so the store
 package never imports the document layer.
+
+**Canonical anchor positions.**  :func:`compute_positions` derives, from
+the same digests, a canonical *rank path* for every node: at each parent
+the children are ordered by their digest sort key (the digest alone for
+ordinary parents; ``(digest, edge probability)`` for distributional
+ones — exactly the entries the parent digest hashes), and a node's
+position is the tuple of child ranks on the path from the root.  Rank
+paths are what make *anchored* evaluations content-addressable (compare
+the isomorphism-invariant reasoning about p-documents in Amarilli's
+possibility-problem analysis, arXiv:1404.3131): two subtrees with equal
+digests admit a rank-respecting isomorphism — children of equal rank
+have equal digests and edge probabilities, recursively — so pinning a
+pattern node to "the node at rank path ``π``" means the same thing in
+both.  Ties between digest-equal siblings are broken arbitrarily (input
+order); any tie-break is sound because permuting digest-equal siblings
+is an automorphism, and it maps one admissible tie-breaking onto any
+other together with the anchored positions.
 """
 
 from __future__ import annotations
 
 import hashlib
 
-__all__ = ["DIGEST_SIZE", "compute_index", "fingerprint_digest"]
+__all__ = [
+    "DIGEST_SIZE",
+    "compute_index",
+    "compute_positions",
+    "fingerprint_digest",
+]
 
 #: Digest width in bytes (blake2b); 128 bits make collisions negligible
 #: even for stores holding billions of subtree entries.
@@ -103,3 +125,42 @@ def compute_index(root, epoch: int) -> tuple[dict[int, str], dict[int, int]]:
         sizes[node_id] = size
         node._digest = (epoch, digest, size)
     return digests, sizes
+
+
+def compute_positions(root, digests: dict[int, str]) -> dict[int, tuple]:
+    """Canonical rank path for every node under ``root``.
+
+    ``digests`` is the :func:`compute_index` digest map for the same
+    (sub)tree.  Children are ranked by their digest sort key — the same
+    ordering the parent digest hashes — so ranks are invariant under
+    isomorphism: nodes of equal rank path in digest-equal trees
+    correspond under a (label-, kind- and probability-preserving)
+    isomorphism.  The root's path is the empty tuple; a child's path
+    appends its rank among its siblings.
+
+    One O(n log n) pass; see the module docstring for the soundness
+    argument behind arbitrary tie-breaking.
+    """
+    positions: dict[int, tuple] = {root.node_id: ()}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        children = node.children
+        if not children:
+            continue
+        base = positions[node.node_id]
+        probabilities = node.probabilities
+        if probabilities is None:
+            ranked = sorted(children, key=lambda c: digests[c.node_id])
+        else:
+            ranked = sorted(
+                children,
+                key=lambda c: (
+                    digests[c.node_id],
+                    str(probabilities[c.node_id]),
+                ),
+            )
+        for rank, child in enumerate(ranked):
+            positions[child.node_id] = base + (rank,)
+            stack.append(child)
+    return positions

@@ -8,19 +8,35 @@ numeric backend) and produces the canonical content-addressed keys of
 * the *structure* component comes from the document's cached
   :meth:`~repro.pxml.pdocument.PDocument.structural_index`;
 * the *fingerprint* component is the engine's goal table restricted to
-  the subtree's labels, hashed — cached per relevant-label set, which
-  repeats heavily across subtrees;
+  the subtree's labels, with anchor values abstracted into slots, hashed
+  — cached per relevant-label set, which repeats heavily across
+  subtrees;
+* the *anchor* component re-binds the fingerprint's anchor slots to
+  canonical *positions*: for each slot, the sorted tuple of rank paths
+  (:meth:`~repro.pxml.pdocument.PDocument.anchor_index`) of the
+  admissible document nodes lying *inside* the keyed subtree, relative
+  to its root.  Admissible nodes outside the subtree are dropped — they
+  can never be granted below it, so the restricted evaluation does not
+  depend on them — and a slot whose nodes all lie outside encodes as the
+  empty tuple (pinned to nothing, which is *not* the same as
+  unanchored).  ``None`` marks a genuinely unanchored restriction;
 * the *gate* collapses to ``None`` for restrictions without output-node
   entries (blocked and unpinned evaluations coincide there).
 
-**Anchored restrictions are never given store keys.**  An anchor pins a
-pattern node to a concrete document node *Id* — document identity, not
-structure — so a distribution computed under an anchored table is only
-valid for the one subtree it was computed in (an isomorphic subtree
-elsewhere does not contain the pinned node).  :meth:`SubtreeKeyer.
-store_key` returns ``None`` for those; callers either skip caching
-(engine) or fall back to a session-local, node-keyed memo
-(:class:`repro.prob.session.QuerySession`).
+**Why anchored sharing is sound.**  Equal structural digests admit a
+rank-respecting isomorphism (children of equal rank have equal digests
+and edge probabilities — see :func:`repro.store.digest.
+compute_positions`), and that single isomorphism maps the admissible
+node set of *every* slot onto its counterpart when the per-slot relative
+position tuples agree.  The DP below a subtree depends only on the
+subtree's structure, the abstract restricted table, and which concrete
+subtree nodes each anchored entry admits — all preserved — so equal
+keys imply equal distributions, exactly as in the unanchored case.
+
+With ``anchored=False`` the keyer reproduces the historical behaviour:
+anchored restrictions get no store key (:meth:`SubtreeKeyer.store_key`
+returns ``None``) and callers fall back to a node-identity local memo.
+This is the *node-keyed baseline* of ``benchmarks/bench_anchored.py``.
 """
 
 from __future__ import annotations
@@ -41,52 +57,94 @@ class SubtreeKeyer:
         engine: the evaluating engine (supplies ``table_labels`` and
             ``goal_table_fingerprint``).
         backend: the numeric backend (its ``name`` enters every key).
+        anchored: derive canonical position-encoded store keys for
+            anchored restrictions (default).  ``False`` = node-keyed
+            baseline: anchored restrictions yield local tokens only.
     """
 
     __slots__ = (
-        "digests", "sizes", "backend_name", "table_labels",
-        "_fingerprint", "_described",
+        "p", "digests", "sizes", "backend_name", "table_labels", "anchored",
+        "_fingerprint", "_described", "_positions",
     )
 
-    def __init__(self, p, engine, backend) -> None:
+    def __init__(self, p, engine, backend, anchored: bool = True) -> None:
+        self.p = p
         self.digests, self.sizes = p.structural_index()
         self.backend_name = backend.name
         self.table_labels = engine.table_labels
+        self.anchored = anchored
         self._fingerprint = engine.goal_table_fingerprint
-        # relevant-label frozenset -> (fp digest, out_sensitive, anchored)
+        # relevant-label frozenset -> (fp digest, out_sensitive, targets)
         self._described: dict[frozenset, tuple] = {}
+        self._positions: Optional[dict] = None  # built on first anchored key
 
     def describe(self, label_set: frozenset) -> tuple:
-        """``(fingerprint digest, out_sensitive, anchored)`` for a subtree
-        whose ordinary labels are ``label_set`` (cached per restriction)."""
+        """``(fingerprint digest, out_sensitive, anchor_targets)`` for a
+        subtree whose ordinary labels are ``label_set`` (cached per
+        restriction).  ``anchor_targets`` is one sorted document-Id tuple
+        per anchored entry of the restriction — empty when unanchored."""
         relevant = self.table_labels & label_set
         entry = self._described.get(relevant)
         if entry is None:
-            table, out_sensitive = self._fingerprint(relevant)
-            anchored = any(
-                item[3] is not None
-                for _, entries in table
-                for item in entries
-            )
-            entry = (fingerprint_digest(table), out_sensitive, anchored)
+            table, out_sensitive, targets = self._fingerprint(relevant)
+            entry = (fingerprint_digest(table), out_sensitive, targets)
             self._described[relevant] = entry
         return entry
+
+    def token(
+        self, node_id: int, label_set: frozenset, gate: str
+    ) -> tuple:
+        """``(key, is_local, is_anchored)`` for the subtree at ``node_id``.
+
+        Unanchored restrictions and (by default) anchored ones get a
+        canonical 5-part store key; with ``anchored=False`` an anchored
+        restriction instead gets a node-identity key for a session-local
+        memo (``is_local`` true).
+        """
+        fingerprint, out_sensitive, targets = self.describe(label_set)
+        effective = gate if out_sensitive else None
+        if not targets:
+            return (
+                (self.digests[node_id], fingerprint, None, effective,
+                 self.backend_name),
+                False,
+                False,
+            )
+        if not self.anchored:
+            return ((node_id, fingerprint, targets, effective), True, True)
+        return (
+            (self.digests[node_id], fingerprint,
+             self._encode(node_id, targets), effective, self.backend_name),
+            False,
+            True,
+        )
 
     def store_key(
         self, node_id: int, label_set: frozenset, gate: str
     ) -> Optional[StoreKey]:
-        """The store key for the subtree at ``node_id`` under ``gate``,
-        or ``None`` when the restricted table is anchored (not shareable
-        by structure)."""
-        fingerprint, out_sensitive, anchored = self.describe(label_set)
-        if anchored:
-            return None
-        return (
-            self.digests[node_id],
-            fingerprint,
-            gate if out_sensitive else None,
-            self.backend_name,
-        )
+        """The canonical store key for the subtree at ``node_id`` under
+        ``gate``, or ``None`` when the restriction is anchored and
+        position keying is disabled (node-keyed baseline)."""
+        key, is_local, _ = self.token(node_id, label_set, gate)
+        return None if is_local else key
+
+    def _encode(self, root_id: int, targets: tuple) -> tuple:
+        """Per-slot sorted relative rank paths of the admissible nodes."""
+        positions = self._positions
+        if positions is None:
+            positions = self._positions = self.p.anchor_index()
+        root_path = positions[root_id]
+        depth = len(root_path)
+        encoded = []
+        for members in targets:
+            inside = []
+            for doc_id in members:
+                path = positions.get(doc_id)
+                if path is not None and path[:depth] == root_path:
+                    inside.append(path[depth:])
+            inside.sort()
+            encoded.append(tuple(inside))
+        return tuple(encoded)
 
     def weight(self, node_id: int, distribution: dict) -> int:
         """Recomputation-cost estimate: support size × subtree size."""

@@ -28,7 +28,7 @@ from __future__ import annotations
 import heapq
 from typing import Optional
 
-from .api import MemoStore, StoreKey
+from .api import MemoStore, StoreKey, is_anchored_key
 
 __all__ = ["InMemoryStore"]
 
@@ -65,9 +65,9 @@ class InMemoryStore(MemoStore):
     def get(self, key: StoreKey) -> Optional[dict]:
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self._count_get(key, hit=False)
             return None
-        self.hits += 1
+        self._count_get(key, hit=True)
         priority = self._clock + entry[_WEIGHT]
         if priority > entry[_PRIORITY]:
             self._stamp += 1
@@ -78,7 +78,7 @@ class InMemoryStore(MemoStore):
 
     def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
         weight = max(1, int(weight))
-        self.puts += 1
+        self._count_put(key)
         self._stamp += 1
         priority = self._clock + weight
         entry = self._entries.get(key)
@@ -129,6 +129,9 @@ class InMemoryStore(MemoStore):
             weight=self._weight,
             max_weight=self.max_weight,
             max_entries=self.max_entries,
+            anchored_entries=sum(
+                1 for key in self._entries if is_anchored_key(key)
+            ),
         )
         return gauges
 

@@ -15,6 +15,16 @@ change degrades to a cache miss rather than a wrong answer.  Entries
 whose values are neither ``Fraction`` nor ``float`` (a custom backend's
 domain) are kept in memory but not persisted.
 
+**Anchored-entry codec.**  The key's anchor-position component (one
+tuple of relative rank paths per anchor slot, ``None`` when unanchored —
+see :mod:`repro.store.keys`) persists in its own ``anchor`` column,
+serialized with a codec version prefix (``"1;@0.2,@1|@3"``: slots joined
+by ``|``, positions by ``,``, ranks by ``.`` after a ``@``) so a future
+encoding change turns old rows into misses instead of wrong shares.
+Store files written before the anchor column existed are detected by
+schema inspection and dropped — a cache format upgrade costs one cold
+fill, never a wrong answer.
+
 **Read caching.**  Decoded entries are cached in memory write-through.
 By default the whole table is decoded on first access (``preload=True``)
 — memo tables are tiny next to the evaluation work they encode, and one
@@ -46,18 +56,56 @@ from .api import MemoStore, StoreKey
 __all__ = ["SqliteStore", "open_store"]
 
 _PAYLOAD_VERSION = 1
+_ANCHOR_VERSION = "1"
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS memo (
     structure   TEXT NOT NULL,
     fingerprint TEXT NOT NULL,
+    anchor      TEXT NOT NULL,
     gate        TEXT NOT NULL,
     backend     TEXT NOT NULL,
     payload     TEXT NOT NULL,
     weight      INTEGER NOT NULL DEFAULT 1,
-    PRIMARY KEY (structure, fingerprint, gate, backend)
+    PRIMARY KEY (structure, fingerprint, anchor, gate, backend)
 )
 """
+
+
+def _encode_anchor(anchor) -> str:
+    """Serialize a key's anchor-position component (``""`` = unanchored)."""
+    if anchor is None:
+        return ""
+    slots = []
+    for positions in anchor:
+        slots.append(
+            ",".join("@" + ".".join(map(str, path)) for path in positions)
+        )
+    return _ANCHOR_VERSION + ";" + "|".join(slots)
+
+
+def _decode_anchor(text: str):
+    """Inverse of :func:`_encode_anchor`; raises ``ValueError`` on foreign
+    or future-versioned encodings."""
+    if text == "":
+        return None
+    version, _, body = text.partition(";")
+    if version != _ANCHOR_VERSION:
+        raise ValueError(f"unsupported anchor encoding: {text[:40]!r}")
+    slots = []
+    for slot in body.split("|"):
+        positions = []
+        for entry in slot.split(","):
+            if not entry:
+                continue
+            if not entry.startswith("@"):
+                raise ValueError(f"malformed anchor position {entry!r}")
+            ranks = entry[1:]
+            positions.append(
+                tuple(int(rank) for rank in ranks.split(".")) if ranks else ()
+            )
+        slots.append(tuple(positions))
+    return tuple(slots)
 
 
 def _encode(distribution: dict) -> Optional[str]:
@@ -120,6 +168,13 @@ class SqliteStore(MemoStore):
         self._conn: Optional[sqlite3.Connection] = None
         try:
             conn = sqlite3.connect(self.path)
+            columns = {
+                row[1] for row in conn.execute("PRAGMA table_info(memo)")
+            }
+            if columns and "anchor" not in columns:
+                # Pre-anchor schema: the key format changed, so the cached
+                # entries are unreachable anyway — drop and refill cold.
+                conn.execute("DROP TABLE memo")
             conn.execute(_SCHEMA)
             conn.commit()
             self._conn = conn
@@ -134,14 +189,14 @@ class SqliteStore(MemoStore):
             self._preload()
         cached = self._cache.get(key)
         if cached is not None:
-            self.hits += 1
+            self._count_get(key, hit=True)
             return cached
         if self._complete or self._conn is None:
-            self.misses += 1
+            self._count_get(key, hit=False)
             return None
         row = self._execute(
             "SELECT payload FROM memo WHERE structure = ? AND fingerprint = ?"
-            " AND gate = ? AND backend = ?",
+            " AND anchor = ? AND gate = ? AND backend = ?",
             self._row_key(key),
         )
         row = row.fetchone() if row is not None else None
@@ -155,20 +210,20 @@ class SqliteStore(MemoStore):
                 distribution = None
                 self._execute(
                     "DELETE FROM memo WHERE structure = ? AND fingerprint = ?"
-                    " AND gate = ? AND backend = ?",
+                    " AND anchor = ? AND gate = ? AND backend = ?",
                     self._row_key(key),
                 )
             if distribution is not None:
                 self._cache[key] = distribution
-                self.hits += 1
+                self._count_get(key, hit=True)
                 return distribution
-        self.misses += 1
+        self._count_get(key, hit=False)
         return None
 
     def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
         if self.preload and not self._complete:
             self._preload()
-        self.puts += 1
+        self._count_put(key)
         self._cache[key] = distribution
         if self._conn is None:
             return
@@ -177,8 +232,8 @@ class SqliteStore(MemoStore):
             return  # non-serializable backend domain: memory-only entry
         self._execute(
             "INSERT OR REPLACE INTO memo"
-            " (structure, fingerprint, gate, backend, payload, weight)"
-            " VALUES (?, ?, ?, ?, ?, ?)",
+            " (structure, fingerprint, anchor, gate, backend, payload, weight)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?)",
             self._row_key(key) + (payload, max(1, int(weight))),
         )
         self._pending += 1
@@ -194,7 +249,7 @@ class SqliteStore(MemoStore):
             return False
         row = self._execute(
             "SELECT 1 FROM memo WHERE structure = ? AND fingerprint = ?"
-            " AND gate = ? AND backend = ?",
+            " AND anchor = ? AND gate = ? AND backend = ?",
             self._row_key(key),
         )
         return row is not None and row.fetchone() is not None
@@ -229,16 +284,23 @@ class SqliteStore(MemoStore):
     def stats(self) -> dict:
         gauges = super().stats()
         weight = None
+        anchored_entries = None
         if self._conn is not None:
             row = self._execute("SELECT COALESCE(SUM(weight), 0) FROM memo")
             if row is not None:
                 weight = row.fetchone()[0]
+            row = self._execute(
+                "SELECT COUNT(*) FROM memo WHERE anchor != ''"
+            )
+            if row is not None:
+                anchored_entries = row.fetchone()[0]
         gauges.update(
             kind="sqlite",
             path=self.path,
             degraded=self.degraded,
             cached_entries=len(self._cache),
             weight=weight,
+            anchored_entries=anchored_entries,
         )
         return gauges
 
@@ -264,8 +326,8 @@ class SqliteStore(MemoStore):
     # ------------------------------------------------------------------
     @staticmethod
     def _row_key(key: StoreKey) -> tuple:
-        structure, fingerprint, gate, backend = key
-        return (structure, fingerprint, gate or "", backend)
+        structure, fingerprint, anchor, gate, backend = key
+        return (structure, fingerprint, _encode_anchor(anchor), gate or "", backend)
 
     def _execute(self, sql: str, parameters: tuple = ()):
         assert self._conn is not None
@@ -280,19 +342,26 @@ class SqliteStore(MemoStore):
         if self._conn is None:
             return
         rows = self._execute(
-            "SELECT structure, fingerprint, gate, backend, payload FROM memo"
+            "SELECT structure, fingerprint, anchor, gate, backend, payload"
+            " FROM memo"
         )
         if rows is None:
             return
         try:
-            for structure, fingerprint, gate, backend, payload in rows:
-                key = (structure, fingerprint, gate or None, backend)
-                if key in self._cache:
-                    continue
+            for structure, fingerprint, anchor, gate, backend, payload in rows:
                 try:
+                    key = (
+                        structure,
+                        fingerprint,
+                        _decode_anchor(anchor),
+                        gate or None,
+                        backend,
+                    )
+                    if key in self._cache:
+                        continue
                     self._cache[key] = _decode(payload)
                 except (ValueError, TypeError, KeyError):
-                    continue  # foreign payloads degrade to misses
+                    continue  # foreign payloads/encodings degrade to misses
         except sqlite3.Error as exc:  # corruption discovered mid-scan
             self._degrade(exc)
 

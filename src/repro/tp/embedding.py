@@ -17,15 +17,21 @@ from .pattern import Axis, PatternNode, TreePattern
 
 __all__ = ["evaluate", "has_embedding", "find_embeddings", "subtree_matches"]
 
-Anchors = Mapping[int, int]
-"""Maps ``id(pattern_node)`` to a required document node Id."""
+Anchors = Mapping[int, object]
+"""Maps ``id(pattern_node)`` to a required document node Id, or to a
+collection of admissible Ids (the normalized engine form,
+:func:`repro.prob.engine.normalize_anchors`)."""
 
 
 def _anchor_ok(node: PatternNode, doc_node: DocNode, anchors: Optional[Anchors]) -> bool:
     if not anchors:
         return True
     required = anchors.get(id(node))
-    return required is None or required == doc_node.node_id
+    if required is None:
+        return True
+    if isinstance(required, int):
+        return required == doc_node.node_id
+    return doc_node.node_id in required
 
 
 class _Matcher:

@@ -66,6 +66,13 @@ class ProbabilisticViewExtension:
     #: original node Id n -> set of selected Ids m such that the result
     #: subtree of m contains an occurrence of n (derived from markers).
     occurrences: dict[int, set[int]]
+    #: original node Id n -> Ids (in P̂_v) of *all* copies of n, across
+    #: every result subtree.  The engine-anchor form of the paper's
+    #: ``Id(n)``-marker device: pinning a pattern node to this Id set is
+    #: equivalent to requiring an ``Id(n)`` marker child, and it keeps
+    #: per-candidate goal tables identical so anchored evaluations share
+    #: canonical store keys.
+    copies: dict[int, list[int]] = field(default_factory=dict)
     #: lazily built cache of result p-subdocuments; rewriting plans request
     #: the same holder's subdocument once per candidate below it, and each
     #: build is a deep copy.
@@ -89,6 +96,19 @@ class ProbabilisticViewExtension:
                 self.subtree_roots[original_id]
             )
         return cached
+
+    def occurrence_copies(
+        self, original_id: int, within: Optional[PDocument] = None
+    ) -> tuple[int, ...]:
+        """Ids of the copies of ``original_id``, optionally restricted to
+        the nodes of ``within`` (a :meth:`result_subdocument`, which
+        preserves extension Ids).  Empty when the node was never copied —
+        a pattern anchored to the empty set cannot match, exactly like a
+        marker pattern with no ``Id(n)`` node in the document."""
+        ids = self.copies.get(original_id, ())
+        if within is not None:
+            return tuple(cid for cid in ids if within.has_node(cid))
+        return tuple(ids)
 
     def selected_ancestors_or_self(self, original_id: int) -> list[int]:
         """Selected nodes whose result subtree contains ``original_id``,
@@ -183,8 +203,11 @@ def probabilistic_extension(
     bundle = PNode(next(fresh), PNodeKind.IND)
     subtree_roots: dict[int, int] = {}
     occurrences: dict[int, set[int]] = {}
+    copies: dict[int, list[int]] = {}
     for selected in sorted(answer):
-        copy = _copy_pnode_with_markers(p.node(selected), fresh, selected, occurrences)
+        copy = _copy_pnode_with_markers(
+            p.node(selected), fresh, selected, occurrences, copies
+        )
         bundle.add_child(copy, answer[selected])
         subtree_roots[selected] = copy.node_id
     if subtree_roots:
@@ -195,6 +218,7 @@ def probabilistic_extension(
         selection=dict(answer),
         subtree_roots=subtree_roots,
         occurrences=occurrences,
+        copies=copies,
     )
 
 
@@ -203,10 +227,12 @@ def _copy_pnode_with_markers(
     fresh,
     holder: int,
     occurrences: dict[int, set[int]],
+    copies: dict[int, list[int]],
 ) -> PNode:
     copy = PNode(next(fresh), source.kind, source.label)
     if source.is_ordinary:
         occurrences.setdefault(source.node_id, set()).add(holder)
+        copies.setdefault(source.node_id, []).append(copy.node_id)
         copy.add_child(PNode(next(fresh), PNodeKind.ORDINARY, marker_label(source.node_id)))
     for child in source.children:
         probability = (
@@ -215,7 +241,8 @@ def _copy_pnode_with_markers(
             else None
         )
         copy.add_child(
-            _copy_pnode_with_markers(child, fresh, holder, occurrences), probability
+            _copy_pnode_with_markers(child, fresh, holder, occurrences, copies),
+            probability,
         )
     return copy
 

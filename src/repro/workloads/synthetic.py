@@ -35,6 +35,7 @@ __all__ = [
     "chain_query",
     "chain_views",
     "adversarial_intersection",
+    "isomorphic_twin",
 ]
 
 
@@ -298,6 +299,30 @@ def churn_workload(
         steps.append(("mutate", bump_amount(rng.choice(amounts))))
         steps.append(("queries", queries))
     return p, steps
+
+
+def isomorphic_twin(p: PDocument, offset: int = 10_000_000) -> PDocument:
+    """An isomorphic copy of ``p`` with every node Id shifted by ``offset``.
+
+    Same shapes, labels, probabilities and child order — only the Ids
+    differ — so structural digests and canonical anchor positions match
+    node-for-node while identity-keyed state (candidate sets, node-keyed
+    memos) cannot accidentally collide.  The workload for testing and
+    benchmarking content-addressed sharing across lookalike documents.
+    """
+
+    def copy(node: PNode) -> PNode:
+        duplicate = PNode(node.node_id + offset, node.kind, node.label)
+        for child in node.children:
+            probability = (
+                node.probabilities[child.node_id]
+                if node.probabilities is not None
+                else None
+            )
+            duplicate.add_child(copy(child), probability)
+        return duplicate
+
+    return PDocument(copy(p.root))
 
 
 # ----------------------------------------------------------------------

@@ -14,17 +14,19 @@ from fractions import Fraction
 
 from hypothesis import given, settings, strategies as st
 
-from repro.prob import QuerySession, query_answer
+from repro.prob import EvaluationEngine, QuerySession, query_answer
 from repro.pxml.pdocument import PDocument
 from repro.store import InMemoryStore, SqliteStore
 from repro.workloads.synthetic import (
     churn_workload,
+    isomorphic_twin,
     random_pdocument,
     random_tree_pattern,
 )
 
 LABELS = ("a", "b", "c")
 TOLERANCE = 1e-9
+TWIN_OFFSET = 10_000_000
 
 
 def make_batch(seed: int, max_queries: int = 3):
@@ -119,6 +121,63 @@ def test_sqlite_store_round_trip_matches(tmp_path_factory, seed):
     second = QuerySession(p, store=reopened).answer_many(queries)
     reopened.close()
     assert first == second == [query_answer(p, q) for q in queries]
+
+
+def _anchor_targets(p: PDocument, q) -> list[int]:
+    """A few document nodes carrying the query's output label."""
+    return sorted(
+        n.node_id
+        for n in p.ordinary_nodes()
+        if n.label == q.out.label
+    )[:3]
+
+
+def _check_anchored(session, p, queries, offset, backend, tolerance):
+    """Anchored store-backed answers ≡ fresh store-free engine runs."""
+    for q in queries:
+        targets = _anchor_targets(p, q)
+        if not targets:
+            continue
+        got = session.boolean_many(
+            [(q, {q.out: n + offset}) for n in targets]
+        )
+        for n, value in zip(targets, got):
+            expected = EvaluationEngine(
+                session.p, [q], {q.out: n + offset}, backend=backend
+            ).match_probability()
+            if tolerance is None:
+                assert value == expected
+            else:
+                assert abs(value - expected) < tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_anchored_store_backed_matches_store_free_across_twins(seed):
+    # The ISSUE-5 satellite: anchored evaluations keyed by canonical
+    # anchor positions, shared through one store across two isomorphic
+    # documents with disjoint node Ids, must equal fresh store-free
+    # anchored engine runs — exactly on "exact", within 1e-9 on "fast" —
+    # including after in-place mutations bump the epoch.  An unsound
+    # position encoding would leak a distribution between lookalike
+    # subtrees with differently-placed anchors and surface here.
+    p1, queries, rng = make_batch(seed)
+    p2 = isomorphic_twin(p1, TWIN_OFFSET)
+    store = InMemoryStore()
+    for backend, tolerance in (("exact", None), ("fast", TOLERANCE)):
+        s1 = QuerySession(p1, backend=backend, store=store)
+        s2 = QuerySession(p2, backend=backend, store=store)
+        before = store.anchored_hits
+        _check_anchored(s1, p1, queries, 0, backend, tolerance)
+        _check_anchored(s2, p1, queries, TWIN_OFFSET, backend, tolerance)
+        if any(_anchor_targets(p1, q) for q in queries):
+            # the twin's first, cold pass hits p1's anchored entries
+            assert store.anchored_hits > before
+    mutate_in_place(p1, rng)
+    s1 = QuerySession(p1, store=store)
+    _check_anchored(s1, p1, queries, 0, "exact", None)
+    # the untouched twin keeps matching its (and p1's pre-mutation) keys
+    _check_anchored(s2, p1, queries, TWIN_OFFSET, "fast", TOLERANCE)
 
 
 def test_churn_workload_store_equivalence():

@@ -200,7 +200,7 @@ class TestStableAnchors:
         assert q.path_to(deep) == (0, 0)
         engine = EvaluationEngine(p_per, [q], {q.path_to(deep): 99})
         assert id(deep) in engine.anchors
-        assert engine.anchors[id(deep)] == 99
+        assert engine.anchors[id(deep)] == frozenset({99})
 
     def test_paths_survive_copies(self):
         q = parse_pattern("a/b[c]/d")
@@ -256,3 +256,80 @@ class TestShimCompatibility:
         q = paper.q_bon()
         shim = ProbEvaluator(p_per, [q])
         assert shim.a_goal(q.root) == shim.d_goal(q.root) + 1
+
+
+class TestAnchorSets:
+    """Anchor targets may be sets of admissible document node Ids."""
+
+    def test_set_target_matches_any_member(self, p_per):
+        q = paper.v2_bon()
+        either = EvaluationEngine(p_per, [q], {q.out: (5, 7)})
+        assert either.match_probability() == Fraction(1)
+        neither = EvaluationEngine(p_per, [q], {q.out: (4,)})
+        assert neither.match_probability() == Fraction(0)
+
+    def test_empty_target_pins_to_nothing(self, p_per):
+        q = paper.v2_bon()
+        engine = EvaluationEngine(p_per, [q], {q.out: ()})
+        assert engine.match_probability() == Fraction(0)
+
+    def test_set_target_equals_disjunction_of_scalars(self, p_per):
+        # Pr(out -> {a, b}) = Pr(out -> a) + Pr(out -> b) only absent
+        # correlation; here just check it lies between max and sum, and
+        # equals the brute-force Boolean with the same set anchor.
+        q = paper.q_bon()
+        joint = EvaluationEngine(p_per, [q], {q.out: (5, 7)}).match_probability()
+        singles = [
+            EvaluationEngine(p_per, [q], {q.out: n}).match_probability()
+            for n in (5, 7)
+        ]
+        assert max(singles) <= joint <= sum(singles)
+        assert joint == brute_force_boolean_probability(p_per, q, {q.out: (5, 7)})
+
+    def test_non_iterable_target_rejected(self, p_per):
+        q = paper.q_bon()
+        with pytest.raises(PatternError):
+            normalize_anchors([q], {q.out: object()})
+
+    def test_string_target_is_a_scalar_not_an_iterable(self, p_per):
+        # "12" must anchor to node 12 (the legacy int() coercion), never
+        # be iterated into nodes 1 and 2.
+        q = paper.q_bon()
+        assert normalize_anchors([q], {q.out: "12"}) == {
+            id(q.out): frozenset({12})
+        }
+        with pytest.raises(PatternError):
+            normalize_anchors([q], {q.out: "bonus"})
+
+    def test_fingerprint_abstracts_anchor_values(self, p_per):
+        # Same query, different anchors: identical abstract fingerprint,
+        # different target tuples — the store key separates them via
+        # canonical positions, not via the table.
+        q = paper.q_bon()
+        e5 = EvaluationEngine(p_per, [q], {q.out: 5})
+        e7 = EvaluationEngine(p_per, [q], {q.out: 7})
+        t5, out5, a5 = e5.goal_table_fingerprint(e5.table_labels)
+        t7, out7, a7 = e7.goal_table_fingerprint(e7.table_labels)
+        assert t5 == t7 and out5 == out7
+        assert a5 == ((5,),) and a7 == ((7,),)
+
+
+class TestUnitFastPaths:
+    def test_mixture_returns_unit_operand_unchanged(self, p_per):
+        engine = EvaluationEngine(p_per, [paper.q_bon()])
+        unit = {0: Fraction(1)}
+        assert engine._mixture(Fraction(1, 2), unit) is unit
+        other = {0: Fraction(1, 2), 3: Fraction(1, 2)}
+        assert engine._mixture(Fraction(1), other) is other
+
+    def test_mixture_still_mixes_non_unit(self, p_per):
+        engine = EvaluationEngine(p_per, [paper.q_bon()])
+        mixed = engine._mixture(Fraction(1, 4), {3: Fraction(1)})
+        assert mixed == {0: Fraction(3, 4), 3: Fraction(1, 4)}
+
+    def test_convolve_unit_short_circuit(self, p_per):
+        engine = EvaluationEngine(p_per, [paper.q_bon()])
+        unit = {0: Fraction(1)}
+        other = {0: Fraction(1, 2), 3: Fraction(1, 2)}
+        assert engine._convolve(unit, other) is other
+        assert engine._convolve(other, unit) is other

@@ -78,7 +78,7 @@ class TestStructuralDigest:
 
 
 class TestInMemoryStore:
-    KEY = ("s0", "f0", None, "exact")
+    KEY = ("s0", "f0", None, None, "exact")
 
     def test_get_put_roundtrip_and_counters(self):
         store = InMemoryStore()
@@ -93,27 +93,27 @@ class TestInMemoryStore:
 
     def test_cost_aware_eviction_keeps_hot_heavy_entry(self):
         store = InMemoryStore(max_weight=100)
-        heavy = ("heavy", "f", None, "exact")
+        heavy = ("heavy", "f", None, None, "exact")
         store.put(heavy, {0: 1}, weight=50)
         for i in range(30):
-            store.put((f"light{i}", "f", None, "exact"), {0: 1}, weight=10)
+            store.put((f"light{i}", "f", None, None, "exact"), {0: 1}, weight=10)
             assert store.get(heavy) is not None  # kept hot
         assert store.evictions > 0
         assert store.weight <= 100
         # the oldest light entries were evicted around the surviving heavy one
-        assert store.get(("light0", "f", None, "exact")) is None
+        assert store.get(("light0", "f", None, None, "exact")) is None
 
     def test_aging_eventually_evicts_cold_heavy_entry(self):
         store = InMemoryStore(max_weight=100)
-        store.put(("heavy", "f", None, "exact"), {0: 1}, weight=50)
+        store.put(("heavy", "f", None, None, "exact"), {0: 1}, weight=50)
         for i in range(30):  # never touched again: the clock catches up
-            store.put((f"light{i}", "f", None, "exact"), {0: 1}, weight=10)
-        assert store.get(("heavy", "f", None, "exact")) is None
+            store.put((f"light{i}", "f", None, None, "exact"), {0: 1}, weight=10)
+        assert store.get(("heavy", "f", None, None, "exact")) is None
 
     def test_max_entries_cap(self):
         store = InMemoryStore(max_entries=8)
         for i in range(40):
-            store.put((f"s{i}", "f", None, "exact"), {0: 1}, weight=1)
+            store.put((f"s{i}", "f", None, None, "exact"), {0: 1}, weight=1)
         assert len(store) <= 8
 
     def test_put_replaces_entry_in_place(self):
@@ -145,12 +145,12 @@ class TestSqliteStore:
     def test_roundtrip_across_reopen(self, tmp_path):
         path = tmp_path / "memo.db"
         store = SqliteStore(path)
-        store.put(("s", "f", GATE_BLOCKED, "exact"), self.EXACT, weight=12)
-        store.put(("s", "f", None, "fast"), self.FAST, weight=4)
+        store.put(("s", "f", None, GATE_BLOCKED, "exact"), self.EXACT, weight=12)
+        store.put(("s", "f", None, None, "fast"), self.FAST, weight=4)
         store.close()
         reopened = SqliteStore(path)
-        exact = reopened.get(("s", "f", GATE_BLOCKED, "exact"))
-        fast = reopened.get(("s", "f", None, "fast"))
+        exact = reopened.get(("s", "f", None, GATE_BLOCKED, "exact"))
+        fast = reopened.get(("s", "f", None, None, "fast"))
         assert exact == self.EXACT
         assert all(isinstance(v, Fraction) for v in exact.values())
         assert fast == self.FAST
@@ -160,20 +160,20 @@ class TestSqliteStore:
     def test_lazy_point_lookups(self, tmp_path):
         path = tmp_path / "memo.db"
         store = SqliteStore(path)
-        store.put(("s", "f", None, "exact"), self.EXACT)
+        store.put(("s", "f", None, None, "exact"), self.EXACT)
         store.close()
         lazy = SqliteStore(path, preload=False)
-        assert lazy.get(("s", "f", None, "exact")) == self.EXACT
-        assert lazy.get(("absent", "f", None, "exact")) is None
+        assert lazy.get(("s", "f", None, None, "exact")) == self.EXACT
+        assert lazy.get(("absent", "f", None, None, "exact")) is None
         assert lazy.stats()["hits"] == 1 and lazy.stats()["misses"] == 1
 
     def test_non_serializable_values_stay_in_memory(self, tmp_path):
         path = tmp_path / "memo.db"
         store = SqliteStore(path)
-        store.put(("s", "f", None, "custom"), {0: object()})
-        assert store.get(("s", "f", None, "custom")) is not None
+        store.put(("s", "f", None, None, "custom"), {0: object()})
+        assert store.get(("s", "f", None, None, "custom")) is not None
         store.close()
-        assert SqliteStore(path).get(("s", "f", None, "custom")) is None
+        assert SqliteStore(path).get(("s", "f", None, None, "custom")) is None
 
     def test_corrupted_file_degrades_with_warning(self, tmp_path):
         path = tmp_path / "memo.db"
@@ -182,15 +182,15 @@ class TestSqliteStore:
             store = SqliteStore(path)
         assert store.degraded
         # still a functioning (memory-only) store
-        store.put(("s", "f", None, "exact"), self.EXACT, weight=2)
-        assert store.get(("s", "f", None, "exact")) == self.EXACT
+        store.put(("s", "f", None, None, "exact"), self.EXACT, weight=2)
+        assert store.get(("s", "f", None, None, "exact")) == self.EXACT
         assert store.stats()["degraded"] is True
         store.close()
 
     def test_clear_drops_persisted_entries(self, tmp_path):
         path = tmp_path / "memo.db"
         store = SqliteStore(path)
-        store.put(("s", "f", None, "exact"), self.EXACT)
+        store.put(("s", "f", None, None, "exact"), self.EXACT)
         store.clear()
         store.close()
         assert len(SqliteStore(path)) == 0
@@ -203,7 +203,7 @@ class TestSqliteStore:
 
 
 class TestSubtreeKeyer:
-    def test_anchored_restriction_gets_no_store_key(self, p_per):
+    def test_anchored_restriction_gets_position_key(self, p_per):
         q = paper.q_bon()
         anchored = EvaluationEngine(p_per, [q], {q.out: 5})
         plain = EvaluationEngine(p_per, [q])
@@ -211,9 +211,38 @@ class TestSubtreeKeyer:
         root_labels = labels[p_per.root.node_id]
         anchored_keyer = SubtreeKeyer(p_per, anchored, anchored.backend)
         plain_keyer = SubtreeKeyer(p_per, plain, plain.backend)
-        assert anchored_keyer.store_key(1, root_labels, GATE_BLOCKED) is None
-        key = plain_keyer.store_key(1, root_labels, GATE_BLOCKED)
-        assert key is not None and key[3] == "exact"
+        key = anchored_keyer.store_key(1, root_labels, GATE_BLOCKED)
+        assert key is not None and key[4] == "exact"
+        # one anchor slot, one admissible node, located by its rank path
+        assert key[2] == ((p_per.anchor_index()[5],),)
+        plain_key = plain_keyer.store_key(1, root_labels, GATE_BLOCKED)
+        assert plain_key is not None and plain_key[2] is None
+        assert key != plain_key
+
+    def test_node_keyed_baseline_gets_no_store_key(self, p_per):
+        q = paper.q_bon()
+        anchored = EvaluationEngine(p_per, [q], {q.out: 5})
+        keyer = SubtreeKeyer(
+            p_per, anchored, anchored.backend, anchored=False
+        )
+        root_labels = p_per.label_index()[p_per.root.node_id]
+        assert keyer.store_key(1, root_labels, GATE_BLOCKED) is None
+        token, is_local, is_anchored = keyer.token(
+            1, root_labels, GATE_BLOCKED
+        )
+        assert is_local and is_anchored and token[0] == 1
+
+    def test_anchor_outside_subtree_encodes_empty_slot(self, p_per):
+        # Anchor node 5 (person 1's bonus) lies outside person 2's
+        # subtree: the slot encodes as the empty position tuple — pinned
+        # to nothing there, shareable with any isomorphic twin subtree
+        # whose anchor also lies elsewhere.
+        q = paper.q_bon()
+        engine = EvaluationEngine(p_per, [q], {q.out: 5})
+        keyer = SubtreeKeyer(p_per, engine, engine.backend)
+        person2_labels = p_per.label_index()[3]
+        key = keyer.store_key(3, person2_labels, GATE_BLOCKED)
+        assert key is not None and key[2] == ((),)
 
     def test_gate_collapses_for_out_insensitive_restriction(self, p_per):
         engine = EvaluationEngine(p_per, [paper.q_bon()])
@@ -224,7 +253,7 @@ class TestSubtreeKeyer:
         mux_labels = p_per.label_index()[21]
         assert "laptop" in mux_labels and "bonus" not in mux_labels
         key = keyer.store_key(21, mux_labels, GATE_BLOCKED)
-        assert key is not None and key[2] is None
+        assert key is not None and key[3] is None
 
 
 class TestStoreBackedEvaluation:
@@ -306,7 +335,7 @@ class TestStoreBackedEvaluation:
     def test_lazy_mode_repairs_undecodable_rows(self, tmp_path):
         path = tmp_path / "memo.db"
         store = SqliteStore(path)
-        key = ("s", "f", None, "exact")
+        key = ("s", "f", None, None, "exact")
         store.put(key, {0: Fraction(1)})
         store.close()
         import sqlite3
@@ -368,5 +397,147 @@ class TestStoreBackedEvaluation:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             store = SqliteStore(tmp_path / "memo.db")
-            store.put(("s", "f", None, "exact"), {0: Fraction(1)})
+            store.put(("s", "f", None, None, "exact"), {0: Fraction(1)})
             store.close()
+
+
+class TestAnchorPositions:
+    def test_rank_paths_match_across_isomorphic_documents(self):
+        # Same shapes, different Ids and sibling order: corresponding
+        # nodes get equal rank paths (ranks follow digest sort keys).
+        p1 = pdoc(ordinary(1, "IT-personnel", person(1), person(2, "Ann")))
+        p2 = pdoc(ordinary(9, "IT-personnel", person(7, "Ann"), person(3)))
+        pos1, pos2 = p1.anchor_index(), p2.anchor_index()
+        assert pos1[1] == pos2[9] == ()
+        # person(i) ≅ person(3), person(i, "Ann") ≅ person(7, "Ann")
+        assert pos1[100] == pos2[300]
+        assert pos1[200] == pos2[700]
+        assert pos1[103] == pos2[303]  # the "Rick" leaves correspond
+
+    def test_positions_cover_document_and_respect_epoch(self, p_per):
+        positions = p_per.anchor_index()
+        assert set(positions) == {n.node_id for n in p_per.nodes()}
+        assert p_per.anchor_index() is positions  # epoch-cached
+        p_per.mark_mutated()
+        assert p_per.anchor_index() is not positions
+
+    def test_digest_equal_subtrees_give_equal_relative_positions(self):
+        p = pdoc(ordinary(1, "IT-personnel", person(1), person(2)))
+        positions = p.anchor_index()
+        # strip the person-root prefix: the twins' interiors align
+        base1, base2 = positions[100], positions[200]
+        rel1 = {positions[nid][len(base1):] for nid in (101, 102, 103)}
+        rel2 = {positions[nid][len(base2):] for nid in (201, 202, 203)}
+        assert rel1 == rel2
+
+
+class TestAnchoredStoreBacked:
+    def test_anchored_entries_shared_across_sessions(self, p_per):
+        q = paper.q_bon()
+        store = InMemoryStore()
+        first = QuerySession(p_per, store=store)
+        got = first.node_probability(q, 5)
+        assert got == query_answer(p_per, q)[5]
+        assert store.anchored_puts > 0
+        hits_before = store.anchored_hits
+        second = QuerySession(p_per, store=store)  # fresh session, no local
+        assert second.node_probability(q, 5) == got
+        assert store.anchored_hits > hits_before
+        assert second.stats.anchored_hits > 0
+
+    def test_node_keyed_baseline_keeps_anchored_entries_local(self, p_per):
+        q = paper.q_bon()
+        store = InMemoryStore()
+        session = QuerySession(p_per, store=store, anchored_store=False)
+        expected = query_answer(p_per, q)[5]
+        assert session.node_probability(q, 5) == expected
+        assert store.anchored_puts == 0  # nothing anchored reached the store
+        assert session.node_probability(q, 5) == expected
+        assert session.stats.anchored_hits > 0  # served by the local memo
+
+    def test_local_memo_evicts_cost_aware_not_clear_all(self, p_per):
+        q = paper.q_bon()
+        session = QuerySession(
+            p_per, store=InMemoryStore(), anchored_store=False, memo_limit=4
+        )
+        for node_id in (5, 7, 5, 7):
+            assert session.node_probability(q, node_id) == query_answer(
+                p_per, q
+            ).get(node_id, 0)
+        assert session._local is not None
+        assert len(session._local) <= 4
+        assert session.stats.invalidations == 0  # no coarse purge events
+
+    def test_anchored_sqlite_roundtrip_across_restart(self, tmp_path, p_per):
+        q = paper.q_bon()
+        path = tmp_path / "memo.db"
+        store = SqliteStore(path)
+        expected = QuerySession(p_per, store=store).node_probability(q, 5)
+        assert store.stats()["anchored_entries"] > 0
+        store.close()
+        reopened = SqliteStore(path)
+        fresh = QuerySession(p_per, store=reopened)
+        assert fresh.node_probability(q, 5) == expected
+        assert reopened.anchored_hits > 0
+        assert fresh.stats.memo_misses == 0  # fully warm from disk
+        reopened.close()
+
+    def test_anchor_codec_roundtrip(self):
+        from repro.store.sqlite import _decode_anchor, _encode_anchor
+
+        for anchor in (
+            None,
+            ((),),                       # one slot, pinned to nothing
+            (((),),),                    # one slot, anchored at the root
+            (((0, 2), (1,)), ()),        # two slots, mixed
+        ):
+            assert _decode_anchor(_encode_anchor(anchor)) == anchor
+        with pytest.raises(ValueError):
+            _decode_anchor("99;@0")  # future codec version -> miss
+
+    def test_pre_anchor_schema_is_migrated(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "memo.db"
+        with sqlite3.connect(path) as conn:
+            conn.execute(
+                "CREATE TABLE memo (structure TEXT NOT NULL, "
+                "fingerprint TEXT NOT NULL, gate TEXT NOT NULL, "
+                "backend TEXT NOT NULL, payload TEXT NOT NULL, "
+                "weight INTEGER NOT NULL DEFAULT 1, "
+                "PRIMARY KEY (structure, fingerprint, gate, backend))"
+            )
+            conn.execute(
+                "INSERT INTO memo VALUES ('s', 'f', '', 'exact', 'x', 1)"
+            )
+        store = SqliteStore(path)  # old key format: dropped, not degraded
+        assert not store.degraded
+        assert len(store) == 0
+        store.put(("s", "f", (((0,),),), None, "exact"), {0: Fraction(1)})
+        store.close()
+        assert len(SqliteStore(path)) == 1
+
+    def test_engine_anchored_store_reuse(self, p_per):
+        from repro.prob.engine import node_probability
+
+        store = InMemoryStore()
+        q = paper.q_bon()
+        first = node_probability(p_per, q, 5, store=store)
+        assert store.anchored_puts > 0
+        hits_before = store.anchored_hits
+        assert node_probability(p_per, q, 5, store=store) == first
+        assert store.anchored_hits > hits_before
+
+    def test_cache_stats_surface_anchored_counters(self, p_per):
+        from repro.cache import RewritingCache
+        from repro.views.view import View
+
+        cache = RewritingCache(p_per, store=InMemoryStore())
+        cache.materialize(View("v1", paper.v1_bon()))
+        cache.answer(paper.q_rbon())
+        stats = cache.stats()
+        anchored = stats["anchored"]
+        assert anchored["store_puts"] > 0
+        assert stats["store"]["anchored_entries"] > 0
+        cache.answer(paper.q_rbon())
+        assert cache.stats()["anchored"]["store_hits"] > anchored["store_hits"]
