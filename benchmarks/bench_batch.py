@@ -90,6 +90,25 @@ def test_batched_warm(benchmark, report, persons):
     report.append(f"batch persons={persons}: warm memo skips subtrees")
 
 
+@pytest.mark.paper("§6 cost model — stacked array backend, warm plan")
+@pytest.mark.parametrize("persons", SIZES)
+def test_batched_warm_array(benchmark, report, persons):
+    p, queries = _setup(persons)
+    exact = sequential_answers(p, queries)
+    session = QuerySession(p, backend="array")
+    session.answer_many(queries)  # build + memoize the stacked plan
+    answers = benchmark(batched_answers, p, queries, "array", session)
+    for d_exact, d_got in zip(exact, answers):
+        for node_id in set(d_exact) | set(d_got):
+            assert abs(
+                float(d_got.get(node_id, 0.0))
+                - float(d_exact.get(node_id, 0))
+            ) < 1e-9
+    report.append(
+        f"batch persons={persons}: one stacked (lanes × support) pass"
+    )
+
+
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
@@ -102,7 +121,53 @@ def _best_of(repeats: int, fn, *args) -> float:
     return best
 
 
-def run(sizes: list[int], repeats: int = 3) -> dict:
+def _max_abs_error(exact: list[dict], got: list[dict]) -> float:
+    worst = 0.0
+    for d_exact, d_got in zip(exact, got):
+        for node_id in set(d_exact) | set(d_got):
+            error = abs(
+                float(d_got.get(node_id, 0.0))
+                - float(d_exact.get(node_id, 0))
+            )
+            worst = max(worst, error)
+    return worst
+
+
+def _backend_columns(
+    p, queries, exact: list[dict], backends: list[str], repeats: int
+) -> dict:
+    """Cold/warm ``answer_many`` timings and exactness per backend.
+
+    The warm number is what the vectorized ``array`` backend exists
+    for: its stacked pass memoizes the whole candidate spine per plan
+    and epoch, so a repeated batch costs a plan lookup instead of a
+    traversal (the scalar backends re-walk the spine every pass).
+    """
+    columns = {}
+    for name in backends:
+        got = batched_answers(p, queries, backend=name)
+        warm_session = QuerySession(p, backend=name)
+        warm_session.answer_many(queries)
+        columns[name] = {
+            "batched_cold_s": _best_of(
+                repeats,
+                lambda: batched_answers(p, queries, backend=name),
+            ),
+            "batched_warm_s": _best_of(
+                repeats,
+                lambda: batched_answers(p, queries, name, warm_session),
+            ),
+            "max_abs_error_vs_exact": _max_abs_error(exact, got),
+        }
+    return columns
+
+
+def run(
+    sizes: list[int],
+    repeats: int = 3,
+    backends: list[str] = ("fast", "array"),
+) -> dict:
+    backends = list(backends)
     results = []
     max_abs_error = 0.0
     for persons in sizes:
@@ -111,12 +176,7 @@ def run(sizes: list[int], repeats: int = 3) -> dict:
         batched = batched_answers(p, queries)
         assert batched == exact
         fast = batched_answers(p, queries, backend="fast")
-        for d_exact, d_fast in zip(exact, fast):
-            for node_id in set(d_exact) | set(d_fast):
-                error = abs(
-                    d_fast.get(node_id, 0.0) - float(d_exact.get(node_id, 0))
-                )
-                max_abs_error = max(max_abs_error, error)
+        max_abs_error = max(max_abs_error, _max_abs_error(exact, fast))
         warm_session = QuerySession(p)
         warm_session.answer_many(queries)
         timings = {
@@ -139,18 +199,33 @@ def run(sizes: list[int], repeats: int = 3) -> dict:
                 / timings["batched_cold_s"],
                 "speedup_warm_vs_sequential": timings["sequential_s"]
                 / timings["batched_warm_s"],
+                "backends": _backend_columns(
+                    p, queries, exact, backends, repeats
+                ),
                 "cold_session_stats": stats_session.stats.snapshot(),
             }
         )
-    return {
+    report = {
         "benchmark": "bench_batch",
         "workload": "workloads/synthetic batch_workload "
         f"({PROJECTS} per-project queries, neutral profile subtrees)",
         "strategies": ["sequential", "batched_cold", "batched_warm"],
+        "backends": backends,
         "repeats": repeats,
         "fast_vs_exact_max_abs_error": max_abs_error,
         "results": results,
     }
+    if {"fast", "array"} <= set(backends):
+        largest = results[-1]["backends"]
+        report["array_vs_fast_warm_speedup"] = (
+            largest["fast"]["batched_warm_s"]
+            / largest["array"]["batched_warm_s"]
+        )
+        report["array_vs_exact_max_abs_error"] = max(
+            row["backends"]["array"]["max_abs_error_vs_exact"]
+            for row in results
+        )
+    return report
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -163,9 +238,17 @@ def main(argv: list[str] | None = None) -> int:
         "--output", type=Path, default=OUTPUT,
         help=f"where to write the JSON report (default: {OUTPUT})",
     )
+    parser.add_argument(
+        "--backend",
+        choices=["fast", "array", "all"],
+        default="all",
+        help="which non-exact backends to compare ('array' keeps 'fast' "
+        "as its warm-speedup reference)",
+    )
     args = parser.parse_args(argv)
     sizes = SIZES if args.quick else FULL_SIZES
-    report = run(sizes, repeats=1 if args.quick else 3)
+    backends = ["fast"] if args.backend == "fast" else ["fast", "array"]
+    report = run(sizes, repeats=1 if args.quick else 3, backends=backends)
     args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     largest = report["results"][-1]
     print(f"wrote {args.output}")
@@ -175,6 +258,13 @@ def main(argv: list[str] | None = None) -> int:
         f"cold / ×{largest['speedup_warm_vs_sequential']:.1f} warm, "
         f"max |fast − exact| = {report['fast_vs_exact_max_abs_error']:.2e}"
     )
+    if "array_vs_fast_warm_speedup" in report:
+        print(
+            f"persons={largest['persons']}: array vs fast warm "
+            f"×{report['array_vs_fast_warm_speedup']:.1f}, "
+            f"max |array − exact| = "
+            f"{report['array_vs_exact_max_abs_error']:.2e}"
+        )
     if largest["speedup_batched_vs_sequential"] <= 1.0:
         print("FAIL: batched evaluation not faster than sequential",
               file=sys.stderr)
@@ -183,6 +273,15 @@ def main(argv: list[str] | None = None) -> int:
         print("FAIL: batched speedup below the 3x acceptance bar",
               file=sys.stderr)
         return 1
+    if "array_vs_fast_warm_speedup" in report:
+        if report["array_vs_exact_max_abs_error"] > 1e-9:
+            print("FAIL: array backend outside the 1e-9 exactness bar",
+                  file=sys.stderr)
+            return 1
+        if not args.quick and report["array_vs_fast_warm_speedup"] < 3.0:
+            print("FAIL: array warm speedup below the 3x acceptance bar",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -137,7 +137,7 @@ def _cmd_rewrite(args: argparse.Namespace) -> int:
     exit_code = 1
     for index, text in enumerate(args.view, start=1):
         view = View(f"v{index}", parse_pattern(text))
-        plan = probabilistic_tp_plan(q, view)
+        plan = probabilistic_tp_plan(q, view, backend=args.backend)
         if plan is None:
             print(f"{text}: no probabilistic TP-rewriting")
             continue
@@ -252,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="view definition (repeatable)")
     p_rw.add_argument("--evaluate", action="store_true",
                       help="also evaluate the plans over the extensions")
+    p_rw.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="exact",
+        help="numeric backend the plans evaluate in",
+    )
     p_rw.set_defaults(func=_cmd_rewrite)
 
     p_skel = sub.add_parser("skeleton", help="extended-skeleton check")

@@ -58,7 +58,12 @@ from functools import partial
 from typing import Mapping, Optional, Sequence, Union
 
 from ..errors import PatternError
-from ..probability import BackendLike, NumericBackend, get_backend
+from ..probability import (
+    BackendLike,
+    NumericBackend,
+    distribution_ops,
+    get_backend,
+)
 from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..store import GATE_BLOCKED, GATE_UNPINNED, MemoStore, SubtreeKeyer
 from ..tp.embedding import evaluate as evaluate_deterministic
@@ -282,6 +287,14 @@ class EvaluationEngine:
         self._targets = 0
         for pattern in self.patterns:
             self._targets |= 1 << (2 * self._goal_index[id(pattern.root)])
+        # Distribution kernels: the backend's ops object (ScalarOps for
+        # plain scalar backends, vectorized kernels for "array").  The
+        # hot per-entry kernels are re-exported as engine methods so the
+        # combine steps below read as before.
+        self._ops = distribution_ops(self.backend, 2 * len(self._pattern_nodes))
+        self._unit = self._ops.unit
+        self._convolve = self._ops.convolve
+        self._mixture = self._ops.mixture
 
     # ------------------------------------------------------------------
     # Goal ids (kept for compatibility with the pre-engine evaluator)
@@ -317,11 +330,7 @@ class EvaluationEngine:
         """
         if targets is None:
             targets = self._targets
-        total = self._zero
-        for mask, probability in distribution.items():
-            if mask & targets == targets:
-                total = total + probability
-        return total
+        return self._ops.mass(distribution, targets)
 
     def goal_table_fingerprint(
         self, labels: frozenset
@@ -451,92 +460,22 @@ class EvaluationEngine:
     # ------------------------------------------------------------------
     # Shared distribution machinery
     # ------------------------------------------------------------------
-    # Distributions are immutable by convention: every operation below
-    # builds a fresh dict or returns an existing one unmodified, so they
+    # Distributions are immutable by convention: every kernel builds a
+    # fresh distribution or returns an existing one unmodified, so they
     # may be shared freely between memo entries (including the cross-query
-    # subtree memo of repro.prob.session).
-    def _unit(self) -> Distribution:
-        return {0: self._one}
-
-    def _convolve(self, d1: Distribution, d2: Distribution) -> Distribution:
-        """Distribution of ``S1 | S2`` for independent ``S1 ~ d1, S2 ~ d2``."""
-        one = self._one
-        if len(d1) == 1:
-            ((mask, value),) = d1.items()
-            if mask == 0 and value == one:
-                return d2
-        if len(d2) == 1:
-            ((mask, value),) = d2.items()
-            if mask == 0 and value == one:
-                return d1
-        zero = self._zero
-        result: Distribution = {}
-        get = result.get
-        for mask1, p1 in d1.items():
-            for mask2, p2 in d2.items():
-                weighted = p1 * p2
-                if weighted:
-                    union = mask1 | mask2
-                    result[union] = get(union, zero) + weighted
-        return result
-
-    def _emit(self, node: PNode, below: int, gate) -> int:
-        """The goal set emitted by ordinary ``node`` over combined ``below``.
-
-        ``gate`` controls output-node ``D`` goals: :data:`_GRANT_ALL`
-        grants them like any other goal, :data:`_GRANT_NONE` suppresses
-        them (the "blocked" evaluations of the single-pass answer DP).
-        """
-        emitted = below & self._a_mask  # A goals propagate upward
-        entries = self._by_label.get(node.label)
-        if entries:
-            node_id = node.node_id
-            for d_bit, a_bit, need, anchor, is_out in entries:
-                if anchor is not None and node_id not in anchor:
-                    continue
-                if is_out and gate is _GRANT_NONE:
-                    continue
-                if below & need == need:
-                    emitted |= d_bit | a_bit
-        return emitted
-
+    # subtree memo of repro.prob.session).  The per-entry kernels
+    # (_unit / _convolve / _mixture) are bound from the backend's ops
+    # object in __init__; the gate translation to the ops layer lives
+    # here.
     def _rewrite(self, node: PNode, distribution: Distribution, gate) -> Distribution:
-        zero = self._zero
-        result: Distribution = {}
-        get = result.get
-        emit_cache: dict[int, int] = {}
-        for mask, probability in distribution.items():
-            emitted = emit_cache.get(mask)
-            if emitted is None:
-                emitted = emit_cache[mask] = self._emit(node, mask, gate)
-            result[emitted] = get(emitted, zero) + probability
-        return result
-
-    def _mixture(self, probability, distribution: Distribution) -> Distribution:
-        """``p · distribution + (1 − p) · δ_∅`` — one ind-edge mixture."""
-        zero, one = self._zero, self._one
-        # Unit fast paths: the neutral-skip machinery mints unit
-        # distributions constantly, and mixing the unit (or mixing with
-        # p = 1) is the identity — skip the dict rebuild.
-        if probability == one:
-            return distribution
-        if len(distribution) == 1:
-            ((mask, value),) = distribution.items()
-            if mask == 0 and value == one:
-                return distribution
-        result: Distribution = {}
-        deficit = one - probability
-        if deficit:
-            result[0] = deficit
-        if probability:
-            get = result.get
-            for mask, value in distribution.items():
-                weighted = probability * value
-                if weighted:
-                    result[mask] = get(mask, zero) + weighted
-        if not result:  # pragma: no cover - distributions carry total mass 1
-            result[0] = zero
-        return result
+        """Apply ``node``'s goal rewrite under ``gate`` (see _GRANT_*)."""
+        return self._ops.rewrite(
+            distribution,
+            self._by_label.get(node.label),
+            node.node_id,
+            gate is not _GRANT_NONE,
+            self._a_mask,
+        )
 
     # ------------------------------------------------------------------
     # Unpinned single-distribution DP (anchored / Boolean evaluation)
@@ -571,7 +510,7 @@ class EvaluationEngine:
         lane = Lane(
             table_labels=self._table_labels,
             combine=self.combine_unpinned,
-            unit={0: self._one},
+            unit=self._unit(),
             keyer=SubtreeKeyer(
                 self.p, self, self.backend, anchored=self.anchored_store
             ),
@@ -580,11 +519,24 @@ class EvaluationEngine:
         return stored_postorder(self.p, [lane], self.store)[0]
 
     def _combine_single(self, node: PNode, memo: dict) -> Distribution:
+        return self._combine_single_gated(node, memo, _GRANT_ALL)
+
+    def _combine_single_gated(
+        self, node: PNode, memo: dict, gate
+    ) -> Distribution:
+        """One single-distribution combine step under an explicit gate.
+
+        ``_GRANT_ALL`` is the unpinned evaluation; ``_GRANT_NONE`` yields
+        the *blocked* distribution (what :meth:`combine_pinned` computes
+        as the first half of its pair) — the stacked session pass
+        (:mod:`repro.prob.stacked`) uses the latter for lanes that hold
+        no candidate below a node.
+        """
         if node.kind is PNodeKind.ORDINARY:
             combined = self._unit()
             for child in node.children:
                 combined = self._convolve(combined, memo[child.node_id])
-            return self._rewrite(node, combined, _GRANT_ALL)
+            return self._rewrite(node, combined, gate)
         assert node.probabilities is not None
         if node.kind is PNodeKind.MUX:
             return self._mux_mixture(
@@ -604,24 +556,11 @@ class EvaluationEngine:
     def _mux_mixture(
         self, node: PNode, child_distributions: Sequence[Distribution]
     ) -> Distribution:
-        zero, one = self._zero, self._one
         assert node.probabilities is not None
-        result: Distribution = {}
-        get = result.get
-        chosen_mass = zero
-        for child, distribution in zip(node.children, child_distributions):
-            p_child = self._convert(node.probabilities[child.node_id])
-            if not p_child:
-                continue
-            chosen_mass = chosen_mass + p_child
-            for mask, probability in distribution.items():
-                weighted = p_child * probability
-                if weighted:
-                    result[mask] = get(mask, zero) + weighted
-        deficit = one - chosen_mass
-        if deficit:
-            result[0] = get(0, zero) + deficit
-        return result
+        return self._ops.mux_mixture(
+            (self._convert(node.probabilities[child.node_id]), distribution)
+            for child, distribution in zip(node.children, child_distributions)
+        )
 
     # ------------------------------------------------------------------
     # Single-pass multi-candidate DP
@@ -663,7 +602,7 @@ class EvaluationEngine:
         lane = Lane(
             table_labels=self._table_labels,
             combine=partial(self.combine_pinned, candidate_set=candidate_set),
-            unit={0: self._one},
+            unit=self._unit(),
             keyer=SubtreeKeyer(
                 self.p, self, self.backend, anchored=self.anchored_store
             ),
@@ -710,8 +649,8 @@ class EvaluationEngine:
     def _combine_mux_pinned(
         self, node: PNode, memo: dict
     ) -> tuple[Distribution, dict]:
-        zero = self._zero
         assert node.probabilities is not None
+        ops = self._ops
         blocked = self._mux_mixture(
             node, [memo[child.node_id][0] for child in node.children]
         )
@@ -723,25 +662,11 @@ class EvaluationEngine:
             p_child = self._convert(node.probabilities[child.node_id])
             # rest = blocked − p_child · blocked(child): the mixture of every
             # *other* choice, shared by all candidates below this child.
-            rest = dict(blocked)
-            if p_child:
-                for mask, probability in memo[child.node_id][0].items():
-                    weighted = p_child * probability
-                    if weighted:
-                        remaining = rest.get(mask, zero) - weighted
-                        if remaining:
-                            rest[mask] = remaining
-                        else:
-                            del rest[mask]
+            rest = ops.scale_subtract(blocked, p_child, memo[child.node_id][0])
             for candidate, distribution in child_pinned.items():
-                combined = dict(rest)
-                if p_child:
-                    get = combined.get
-                    for mask, probability in distribution.items():
-                        weighted = p_child * probability
-                        if weighted:
-                            combined[mask] = get(mask, zero) + weighted
-                pinned[candidate] = combined
+                pinned[candidate] = ops.scale_accumulate(
+                    rest, p_child, distribution
+                )
         return blocked, pinned
 
     def _combine_ind_pinned(

@@ -213,6 +213,10 @@ class QuerySession:
         )
         self._epoch = getattr(p, "mutation_epoch", 0)
         self._world = None
+        # Stacked-pass plan cache (array backend): batch id-signature ->
+        # (strong query refs, prepared lanes/keyer).  Epoch-scoped; see
+        # repro.prob.stacked.
+        self._stacked: dict = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -231,6 +235,13 @@ class QuerySession:
         if not queries:
             return []
         self._refresh()
+        if getattr(self.backend, "vectorized_sessions", False):
+            from .stacked import stacked_answer_many
+
+            answers = stacked_answer_many(self, queries)
+            if answers is not None:
+                self.stats.queries += len(queries)
+                return answers
         engines = [
             EvaluationEngine(self.p, [q], backend=self.backend) for q in queries
         ]
@@ -280,10 +291,42 @@ class QuerySession:
         if not normalized:
             return []
         self._refresh()
+        vectorized = getattr(self.backend, "vectorized_sessions", False)
+        key = None
+        if vectorized:
+            from .stacked import stacked_boolean_key
+
+            # Boolean masses depend only on the document, the patterns
+            # and the anchor bindings — never on store state — so within
+            # an epoch a repeated batch is a pure memo hit, served before
+            # the engines are even built.  ``_refresh``/``invalidate``
+            # drop the memo with the rest of ``_stacked``.
+            key = stacked_boolean_key(normalized)
+            if key is not None:
+                hit = self._stacked.get(key)
+                if hit is not None:
+                    self.stats.memo_hits += len(normalized)
+                    self.stats.subtree_skips += 1
+                    self.stats.queries += len(normalized)
+                    return list(hit[1])
         engines = [
             EvaluationEngine(self.p, patterns, anchors, self.backend)
             for patterns, anchors in normalized
         ]
+        if vectorized:
+            from .stacked import stacked_boolean_many
+
+            masses = stacked_boolean_many(self, engines, normalized)
+            if masses is not None:
+                if key is not None:
+                    if len(self._stacked) > 4096:
+                        self._stacked.clear()
+                    # ``normalized`` rides along to pin the ids the key
+                    # was built from (patterns and anchor pattern-nodes),
+                    # so a recycled id can never alias a stored key.
+                    self._stacked[key] = (normalized, masses)
+                self.stats.queries += len(engines)
+                return masses
         distributions = self._unpinned_batch_pass(engines)
         self.stats.queries += len(engines)
         return [
@@ -319,6 +362,7 @@ class QuerySession:
         if self._local is not None:
             self._local.clear()
         self._world = None
+        self._stacked.clear()
         if self._owns_store and self.store is not None:
             self.store.clear()
         self.stats.invalidations += 1
@@ -343,6 +387,7 @@ class QuerySession:
             if self._local is not None:
                 self._local.clear()
             self._world = None
+            self._stacked.clear()
             self.stats.invalidations += 1
 
     def _max_world(self):
@@ -423,12 +468,11 @@ class QuerySession:
         subtree root, the subtree is not traversed at all.
         """
         use_memo = self.store is not None
-        unit = {0: self.backend.one}
         lanes = [
             Lane(
                 table_labels=engine.table_labels,
                 combine=partial(engine.combine_pinned, candidate_set=candidates),
-                unit=unit,
+                unit=engine._unit(),
                 keyer=self._keyer(engine) if use_memo else None,
                 live=live,
                 gate=_BLOCKED,
@@ -453,12 +497,11 @@ class QuerySession:
         per item, without the pinned (per-candidate) machinery.
         """
         use_memo = self.store is not None
-        unit = {0: self.backend.one}
         lanes = [
             Lane(
                 table_labels=engine.table_labels,
                 combine=engine.combine_unpinned,
-                unit=unit,
+                unit=engine._unit(),
                 keyer=self._keyer(engine) if use_memo else None,
                 gate=_UNPINNED,
             )

@@ -16,18 +16,33 @@ Probability *computation* (the dynamic program of
   with ``exact`` to within ordinary floating-point error (the property
   suite asserts 1e-9 on random instances).
 
+* ``"array"`` — goal-set distributions packed into ``numpy`` arrays;
+  vectorized convolution / mixture / projection kernels with a
+  configurable support-width threshold beyond which a subtree falls back
+  to exact per-entry arithmetic (see :mod:`repro.probability_array`).
+  Requires the optional ``numpy`` dependency (the ``[array]`` extra).
+
 Backends are looked up by name with :func:`get_backend`; any object
 satisfying the protocol (``zero``/``one`` constants plus ``convert`` /
 ``to_fraction``) may be passed wherever a backend name is accepted, so
 interval or log-space arithmetic can be plugged in without touching the
-engine.
+engine.  Third-party backends register under a name with
+:func:`register_backend` (instances, or lazy factories for backends with
+optional dependencies).
+
+The *distribution kernels* of the evaluation engine — unit / convolution
+/ mixture / goal-rewrite / projection over goal-set distributions — are
+grouped in an ops object the backend supplies through the optional
+``engine_ops(goal_bits)`` hook (resolved by :func:`distribution_ops`).
+Backends without the hook get :class:`ScalarOps`, the per-entry dict
+kernels; the ``array`` backend returns vectorized kernels instead.
 """
 
 from __future__ import annotations
 
 from decimal import Decimal
 from fractions import Fraction
-from typing import Protocol, Union, runtime_checkable
+from typing import Callable, Optional, Protocol, Union, runtime_checkable
 
 from .errors import ProbabilityError
 
@@ -43,6 +58,9 @@ __all__ = [
     "FastBackend",
     "BACKENDS",
     "get_backend",
+    "register_backend",
+    "ScalarOps",
+    "distribution_ops",
 ]
 
 #: The internal representation of probabilities.
@@ -166,43 +184,289 @@ class FastBackend:
 
     @staticmethod
     def to_fraction(value: float) -> Fraction:
-        return as_fraction(float(value))
+        # ``Fraction(float)`` is the exact binary expansion — correct but
+        # with astronomical denominators (0.1 -> 3602879701896397 /
+        # 36028797018963968).  Snap to the nearest small-denominator
+        # fraction instead: 1e12 resolves far below the float error the
+        # fast backend already tolerates, so the projection is lossless
+        # at the backend's own precision while staying human-readable.
+        return Fraction(value).limit_denominator(10**12)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "FastBackend()"
 
 
-#: The built-in backend registry, keyed by backend name.
-BACKENDS: dict[str, NumericBackend] = {
-    ExactBackend.name: ExactBackend(),
-    FastBackend.name: FastBackend(),
-}
+# ----------------------------------------------------------------------
+# Distribution kernels (the ops layer of the evaluation engine)
+# ----------------------------------------------------------------------
+class ScalarOps:
+    """Per-entry dict kernels over goal-set distributions.
+
+    A *distribution* maps interned goal bitmasks to backend scalars.
+    :class:`ScalarOps` implements the evaluation engine's kernel surface
+    — unit / convolve / mixture / mux-mixture / goal rewrite / scaled
+    add-subtract / target-mass projection — with plain dict loops in the
+    backend's scalar domain.  This is the default every backend gets
+    from :func:`distribution_ops`; backends may return specialized ops
+    (e.g. the vectorized kernels of :mod:`repro.probability_array`)
+    through the ``engine_ops(goal_bits)`` hook instead.
+
+    Distributions are immutable by convention: every kernel builds a
+    fresh dict or returns an existing operand unmodified, so results may
+    be shared freely between memo entries.
+    """
+
+    __slots__ = ("backend", "zero", "one")
+
+    def __init__(self, backend: NumericBackend) -> None:
+        self.backend = backend
+        self.zero = backend.zero
+        self.one = backend.one
+
+    def unit(self) -> dict:
+        """``δ_∅`` — the distribution of an empty/neutral subtree."""
+        return {0: self.one}
+
+    def convolve(self, d1: dict, d2: dict) -> dict:
+        """Distribution of ``S1 | S2`` for independent ``S1 ~ d1, S2 ~ d2``."""
+        one = self.one
+        if len(d1) == 1:
+            ((mask, value),) = d1.items()
+            if mask == 0 and value == one:
+                return d2
+        if len(d2) == 1:
+            ((mask, value),) = d2.items()
+            if mask == 0 and value == one:
+                return d1
+        zero = self.zero
+        result: dict = {}
+        get = result.get
+        for mask1, p1 in d1.items():
+            for mask2, p2 in d2.items():
+                weighted = p1 * p2
+                if weighted:
+                    union = mask1 | mask2
+                    result[union] = get(union, zero) + weighted
+        return result
+
+    def mixture(self, probability, distribution: dict) -> dict:
+        """``p · distribution + (1 − p) · δ_∅`` — one ind-edge mixture."""
+        zero, one = self.zero, self.one
+        # Unit fast paths: the neutral-skip machinery mints unit
+        # distributions constantly, and mixing the unit (or mixing with
+        # p = 1) is the identity — skip the dict rebuild.
+        if probability == one:
+            return distribution
+        if len(distribution) == 1:
+            ((mask, value),) = distribution.items()
+            if mask == 0 and value == one:
+                return distribution
+        result: dict = {}
+        deficit = one - probability
+        if deficit:
+            result[0] = deficit
+        if probability:
+            get = result.get
+            for mask, value in distribution.items():
+                weighted = probability * value
+                if weighted:
+                    result[mask] = get(mask, zero) + weighted
+        if not result:  # pragma: no cover - distributions carry total mass 1
+            result[0] = zero
+        return result
+
+    def mux_mixture(self, pairs) -> dict:
+        """``Σ pᵢ · dᵢ + (1 − Σ pᵢ) · δ_∅`` over ``(pᵢ, dᵢ)`` ``pairs``."""
+        zero, one = self.zero, self.one
+        result: dict = {}
+        get = result.get
+        chosen_mass = zero
+        for p_child, distribution in pairs:
+            if not p_child:
+                continue
+            chosen_mass = chosen_mass + p_child
+            for mask, probability in distribution.items():
+                weighted = p_child * probability
+                if weighted:
+                    result[mask] = get(mask, zero) + weighted
+        deficit = one - chosen_mass
+        if deficit:
+            result[0] = get(0, zero) + deficit
+        return result
+
+    def rewrite(
+        self, distribution: dict, entries, node_id: int, grant_out: bool,
+        a_mask: int,
+    ) -> dict:
+        """Apply an ordinary node's goal rewrite to every mask.
+
+        ``entries`` is the engine's per-label goal list ``[(d_bit, a_bit,
+        need, anchor, is_out), ...]`` (possibly ``None``); ``grant_out``
+        gates output-node ``D`` goals (the blocked evaluations suppress
+        them); ``a_mask`` selects the ``A`` goals that propagate upward.
+        """
+        zero = self.zero
+        result: dict = {}
+        get = result.get
+        emit_cache: dict[int, int] = {}
+        for mask, probability in distribution.items():
+            emitted = emit_cache.get(mask)
+            if emitted is None:
+                emitted = mask & a_mask  # A goals propagate upward
+                if entries:
+                    for d_bit, a_bit, need, anchor, is_out in entries:
+                        if anchor is not None and node_id not in anchor:
+                            continue
+                        if is_out and not grant_out:
+                            continue
+                        if mask & need == need:
+                            emitted |= d_bit | a_bit
+                emit_cache[mask] = emitted
+            result[emitted] = get(emitted, zero) + probability
+        return result
+
+    def scale_subtract(self, base: dict, probability, distribution: dict) -> dict:
+        """``base − p · distribution``, dropping masks that cancel to zero."""
+        result = dict(base)
+        if probability:
+            zero = self.zero
+            get = result.get
+            for mask, value in distribution.items():
+                weighted = probability * value
+                if weighted:
+                    remaining = get(mask, zero) - weighted
+                    if remaining:
+                        result[mask] = remaining
+                    else:
+                        del result[mask]
+        return result
+
+    def scale_accumulate(self, base: dict, probability, distribution: dict) -> dict:
+        """``base + p · distribution``."""
+        result = dict(base)
+        if probability:
+            zero = self.zero
+            get = result.get
+            for mask, value in distribution.items():
+                weighted = probability * value
+                if weighted:
+                    result[mask] = get(mask, zero) + weighted
+        return result
+
+    def mass(self, distribution: dict, targets: int):
+        """Total probability of goal sets covering ``targets``."""
+        total = self.zero
+        for mask, probability in distribution.items():
+            if mask & targets == targets:
+                total = total + probability
+        return total
+
+    def to_dict(self, distribution: dict) -> dict:
+        """Plain ``{mask: value}`` view (identity for scalar backends)."""
+        return distribution
+
+
+def distribution_ops(backend: NumericBackend, goal_bits: int):
+    """The distribution-kernel ops for ``backend``.
+
+    Resolves the optional ``engine_ops(goal_bits)`` backend hook —
+    ``goal_bits`` is the width of the engine's interned goal-mask space,
+    which array backends use to decide whether masks fit machine
+    integers — and falls back to :class:`ScalarOps` for plain
+    scalar-protocol backends.
+    """
+    hook = getattr(backend, "engine_ops", None)
+    if hook is not None:
+        return hook(goal_bits)
+    return ScalarOps(backend)
+
+
+# Cached ScalarOps: one per backend instance, engines share them.
+def _scalar_ops(backend: NumericBackend) -> ScalarOps:
+    ops = getattr(backend, "_cached_scalar_ops", None)
+    if ops is None:
+        ops = ScalarOps(backend)
+        try:
+            backend._cached_scalar_ops = ops
+        except AttributeError:  # slotted/frozen backends: rebuild per call
+            pass
+    return ops
+
+
+ExactBackend.engine_ops = lambda self, goal_bits: _scalar_ops(self)
+FastBackend.engine_ops = lambda self, goal_bits: _scalar_ops(self)
+
+
+#: The built-in backend registry, keyed by backend name.  Values are
+#: backend instances, or zero-argument factories for backends that are
+#: instantiated lazily (the ``array`` backend imports numpy on first use).
+BACKENDS: dict[str, Union[NumericBackend, Callable[[], NumericBackend]]] = {}
 
 #: A backend name or a backend instance.
 BackendLike = Union[str, NumericBackend]
 
+# Types resolved through the registry — passed through get_backend
+# without the (expensive) runtime-Protocol check; get_backend sits on
+# the engine/session construction hot path, called once per batch item.
+_BACKEND_TYPES: set = set()
+
+
+def register_backend(
+    backend: Union[NumericBackend, Callable[[], NumericBackend]],
+    name: Optional[str] = None,
+) -> None:
+    """Register a backend under its name, replacing any previous entry.
+
+    ``backend`` is an instance (its ``name`` attribute keys the
+    registry) or a zero-argument factory returning one — lazy factories
+    let backends with optional dependencies (``array`` needs numpy)
+    register unconditionally and defer the import to first use; for a
+    factory, ``name`` is required.
+    """
+    if name is None:
+        name = getattr(backend, "name", None)
+        if not isinstance(name, str):
+            raise ProbabilityError(
+                f"cannot register backend {backend!r}: it has no string "
+                "'name' attribute and no explicit name was given"
+            )
+    BACKENDS[name] = backend
+    if not callable(backend) or isinstance(backend, NumericBackend):
+        _BACKEND_TYPES.add(type(backend))
+
 
 def get_backend(backend: BackendLike) -> NumericBackend:
-    """Resolve a backend name (``"exact"``, ``"fast"``) or pass through
-    an object already satisfying :class:`NumericBackend`.
+    """Resolve a backend name (``"exact"``, ``"fast"``, ``"array"``) or
+    pass through an object already satisfying :class:`NumericBackend`.
 
     Raises:
         ProbabilityError: for unknown names or non-backend objects.
+        MissingDependencyError: for the ``array`` backend without numpy.
     """
     if isinstance(backend, str):
         try:
-            return BACKENDS[backend]
+            resolved = BACKENDS[backend]
         except KeyError:
             raise ProbabilityError(
                 f"unknown numeric backend {backend!r}; "
-                f"available: {sorted(BACKENDS)}"
+                f"registered backends: {', '.join(sorted(BACKENDS))}"
             ) from None
-    # Pass the registry's own instances through without the (expensive)
-    # runtime-Protocol check — get_backend sits on the engine/session
-    # construction hot path, called once per batch item.
+        if callable(resolved) and not isinstance(resolved, NumericBackend):
+            # Lazy factory: instantiate once and memoize the instance.
+            resolved = resolved()
+            register_backend(resolved, backend)
+        return resolved
     if type(backend) in _BACKEND_TYPES or isinstance(backend, NumericBackend):
         return backend
     raise ProbabilityError(f"not a numeric backend: {backend!r}")
 
 
-_BACKEND_TYPES = frozenset(type(instance) for instance in BACKENDS.values())
+def _array_backend_factory() -> NumericBackend:
+    from .probability_array import ArrayBackend
+
+    return ArrayBackend()
+
+
+register_backend(ExactBackend())
+register_backend(FastBackend())
+register_backend(_array_backend_factory, "array")

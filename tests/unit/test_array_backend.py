@@ -1,0 +1,302 @@
+"""Unit tests for the vectorized ``array`` numeric backend.
+
+Covers the PR-6 tentpole guarantees: the ArrayOps kernels agree with the
+scalar backends at the engine level, supports past ``width_threshold``
+escape to exact per-subtree evaluation (and compose with vectorized
+regions), the stacked session pass answers whole batches through one
+``(lanes × width)`` matrix per subtree, the SQLite codec round-trips the
+versioned array payloads, and numpy stays a gracefully-optional
+dependency.
+"""
+
+import random
+import sys
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import MissingDependencyError
+from repro.probability import (
+    BACKENDS,
+    ProbabilityError,
+    get_backend,
+    register_backend,
+)
+from repro.probability_array import (
+    ArrayBackend,
+    ArrayDistribution,
+    StackedDistribution,
+    _import_numpy,
+)
+from repro.prob import QuerySession, query_answer
+from repro.prob.engine import boolean_probability, node_probability
+from repro.store import SqliteStore
+from repro.workloads import paper
+from repro.workloads.synthetic import (
+    batch_workload,
+    random_pdocument,
+    random_tree_pattern,
+)
+
+np = _import_numpy()
+
+LABELS = ("a", "b", "c")
+TOLERANCE = 1e-9
+
+
+def close(exact: dict, got: dict) -> bool:
+    keys = set(exact) | {k for k, v in got.items() if float(v) > 1e-12}
+    return all(
+        abs(float(exact.get(k, 0)) - float(got.get(k, 0.0))) < TOLERANCE
+        for k in keys
+    )
+
+
+class TestRegistry:
+    def test_array_backend_registered(self):
+        assert "array" in BACKENDS
+        backend = get_backend("array")
+        assert isinstance(backend, ArrayBackend)
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        with pytest.raises(ProbabilityError, match="array"):
+            get_backend("quantum")
+        with pytest.raises(ProbabilityError, match="exact"):
+            get_backend("quantum")
+
+    def test_register_backend_round_trip(self):
+        sentinel = ArrayBackend(width_threshold=7)
+        register_backend(sentinel, "array-test-tmp")
+        try:
+            assert get_backend("array-test-tmp") is sentinel
+        finally:
+            del BACKENDS["array-test-tmp"]
+
+    def test_to_fraction_recovers_clean_ratios(self):
+        backend = ArrayBackend()
+        assert backend.to_fraction(0.25) == Fraction(1, 4)
+        # A repeating binary expansion must still round-trip the intended
+        # decimal ratio (the FastBackend regression this PR generalizes).
+        assert backend.to_fraction(0.1) == Fraction(1, 10)
+        assert backend.to_fraction(Fraction(2, 3)) == Fraction(2, 3)
+
+    def test_missing_numpy_raises_graceful_error(self, monkeypatch):
+        import repro.probability_array as mod
+
+        monkeypatch.setitem(sys.modules, "numpy", None)
+        with pytest.raises(MissingDependencyError, match="numpy"):
+            mod._import_numpy()
+
+
+class TestDistributions:
+    def test_array_distribution_len_and_dict(self):
+        d = ArrayDistribution(
+            np.array([0, 5], dtype=np.int64),
+            np.array([0.25, 0.75], dtype=np.float64),
+        )
+        assert len(d) == 2
+        assert d.to_dict() == {0: 0.25, 5: 0.75}
+
+    def test_stacked_distribution_rows(self):
+        s = StackedDistribution(
+            np.array([[0, 3], [1, 0]], dtype=np.int64),
+            np.array([[0.5, 0.5], [1.0, 0.0]], dtype=np.float64),
+        )
+        assert s.lanes == 2
+        # Support counts only nonzero mass (store eviction weight).
+        assert len(s) == 3
+        assert s.row_dict(0) == {0: 0.5, 3: 0.5}
+        assert s.row_dict(1) == {1: 1.0}
+        # Memoized: the same object comes back on a warm pass.
+        assert s.row_dict(0) is s.row_dict(0)
+
+
+class TestEngineAgreement:
+    def test_paper_examples_match_exact(self, p_per):
+        for q in (paper.q_bon(), paper.q_rbon(), paper.v1_bon(), paper.v2_bon()):
+            exact = query_answer(p_per, q)
+            got = query_answer(p_per, q, backend="array")
+            assert close(exact, got)
+
+    def test_boolean_and_node_probability(self, p_per):
+        q = paper.q_rbon()
+        exact = boolean_probability(p_per, q)
+        got = boolean_probability(p_per, q, backend="array")
+        assert abs(float(exact) - got) < TOLERANCE
+        exact_n = node_probability(p_per, q, 5)
+        got_n = node_probability(p_per, q, 5, backend="array")
+        assert abs(float(exact_n) - got_n) < TOLERANCE
+
+    def test_random_documents_match_exact(self):
+        for seed in range(8):
+            rng = random.Random(seed)
+            p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+            q = random_tree_pattern(rng, labels=LABELS, mb_length=2)
+            assert close(
+                query_answer(p, q), query_answer(p, q, backend="array")
+            )
+
+
+class TestWidthThresholdFallback:
+    def test_fallback_fires_and_stays_exact(self):
+        backend = ArrayBackend(width_threshold=1)
+        fired = 0
+        for seed in range(6):
+            rng = random.Random(seed)
+            p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+            q = random_tree_pattern(rng, labels=LABELS, mb_length=2)
+            assert close(
+                query_answer(p, q), query_answer(p, q, backend=backend)
+            )
+        fired = backend.fallbacks
+        assert fired > 0
+
+    def test_default_threshold_never_fires_on_small_documents(self):
+        backend = ArrayBackend()
+        rng = random.Random(3)
+        p = random_pdocument(rng, labels=LABELS, max_depth=4, max_children=3)
+        q = random_tree_pattern(rng, labels=LABELS, mb_length=2)
+        query_answer(p, q, backend=backend)
+        assert backend.fallbacks == 0
+
+
+class TestStackedSession:
+    def test_answer_many_matches_exact_cold_and_warm(self):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        expected = [query_answer(p, q) for q in queries]
+        session = QuerySession(p, backend="array")
+        for _ in range(3):  # cold, then plan-memoized warm repeats
+            got = session.answer_many(queries)
+            assert all(close(e, g) for e, g in zip(expected, got))
+        permuted = session.answer_many(list(reversed(queries)))
+        assert all(close(e, g) for e, g in zip(expected, reversed(permuted)))
+
+    def test_warm_answers_are_fresh_copies(self):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        session = QuerySession(p, backend="array")
+        first = session.answer_many(queries)
+        first[0].clear()  # caller-side mutation must not poison the memo
+        again = session.answer_many(queries)
+        expected = [query_answer(p, q) for q in queries]
+        assert all(close(e, g) for e, g in zip(expected, again))
+
+    def test_invalidate_drops_plan_memo(self):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        expected = [query_answer(p, q) for q in queries]
+        session = QuerySession(p, backend="array")
+        session.answer_many(queries)
+        session.invalidate()
+        got = session.answer_many(queries)
+        assert all(close(e, g) for e, g in zip(expected, got))
+
+    def test_boolean_many_plain_and_anchored(self):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        session = QuerySession(p, backend="array")
+        items = []
+        expected = []
+        for q in queries:
+            items.append(q)
+            expected.append(float(boolean_probability(p, q)))
+            candidates = sorted(query_answer(p, q))
+            if candidates:
+                items.append((q, {q.out: candidates[0]}))
+                expected.append(float(node_probability(p, q, candidates[0])))
+        for _ in range(2):  # cold + warm
+            got = session.boolean_many(items)
+            assert all(
+                abs(e - float(g)) < TOLERANCE for e, g in zip(expected, got)
+            )
+
+    def test_boolean_memo_serves_warm_and_drops_on_invalidate(self):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        q = queries[0]
+        items = [(q, {q.out: n}) for n in sorted(query_answer(p, q))]
+        session = QuerySession(p, backend="array")
+        first = session.boolean_many(items)
+        walked = session.stats.traversals
+        rebuilt = [(q, {q.out: n}) for n in sorted(query_answer(p, q))]
+        again = session.boolean_many(rebuilt)  # fresh dicts, same content
+        assert session.stats.traversals == walked  # memo hit, no pass
+        assert [float(x) for x in again] == [float(x) for x in first]
+        session.invalidate()
+        fresh = session.boolean_many(items)
+        assert session.stats.traversals == walked + 1  # memo dropped
+        assert [float(x) for x in fresh] == [float(x) for x in first]
+
+    def test_width_fallback_inside_stacked_pass(self):
+        backend = ArrayBackend(width_threshold=1)
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        expected = [query_answer(p, q) for q in queries]
+        got = QuerySession(p, backend=backend).answer_many(queries)
+        assert backend.fallbacks > 0
+        assert all(close(e, g) for e, g in zip(expected, got))
+
+
+class TestSqliteArrayCodec:
+    KEY = ("digest" * 10, "fp" * 20, None, None, "array")
+
+    def test_round_trips_array_distribution(self, tmp_path):
+        store = SqliteStore(tmp_path / "memo.sqlite")
+        d = ArrayDistribution(
+            np.array([0, 5], dtype=np.int64),
+            np.array([0.25, 0.75], dtype=np.float64),
+        )
+        store.put(self.KEY, d, weight=4)
+        store.close()
+        reopened = SqliteStore(tmp_path / "memo.sqlite")
+        got = reopened.get(self.KEY)
+        assert isinstance(got, ArrayDistribution)
+        assert got.to_dict() == {0: 0.25, 5: 0.75}
+        reopened.close()
+
+    def test_round_trips_stacked_distribution(self, tmp_path):
+        store = SqliteStore(tmp_path / "memo.sqlite")
+        s = StackedDistribution(
+            np.array([[0, 3], [1, 0]], dtype=np.int64),
+            np.array([[0.5, 0.5], [1.0, 0.0]], dtype=np.float64),
+        )
+        store.put(self.KEY, s, weight=4)
+        store.close()
+        reopened = SqliteStore(tmp_path / "memo.sqlite")
+        got = reopened.get(self.KEY)
+        assert isinstance(got, StackedDistribution)
+        assert got.lanes == 2
+        assert got.row_dict(0) == {0: 0.5, 3: 0.5}
+        assert got.row_dict(1) == {1: 1.0}
+        reopened.close()
+
+    def test_malformed_array_payload_is_a_miss(self, tmp_path):
+        path = tmp_path / "memo.sqlite"
+        store = SqliteStore(path)
+        d = ArrayDistribution(
+            np.array([0], dtype=np.int64), np.array([1.0], dtype=np.float64)
+        )
+        store.put(self.KEY, d, weight=1)
+        store.close()
+        import sqlite3
+
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE memo SET payload = ?",
+            ('{"v": 2, "k": "a", "m": [0], "p": "garbage"}',),
+        )
+        conn.commit()
+        conn.close()
+        reopened = SqliteStore(path)
+        assert reopened.get(self.KEY) is None  # miss, not a crash
+        reopened.close()
+
+    def test_warm_session_from_disk(self, tmp_path):
+        p, queries = batch_workload(persons=8, projects=4, seed=8)
+        expected = [query_answer(p, q) for q in queries]
+        path = tmp_path / "memo.sqlite"
+        store = SqliteStore(path)
+        QuerySession(p, backend="array", store=store).answer_many(queries)
+        store.close()
+        reopened = SqliteStore(path)
+        got = QuerySession(p, backend="array", store=reopened).answer_many(
+            queries
+        )
+        assert reopened.hits > 0
+        assert all(close(e, g) for e, g in zip(expected, got))
+        reopened.close()

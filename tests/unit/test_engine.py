@@ -135,7 +135,7 @@ class TestPinnedCombinators:
 
 class TestBackends:
     def test_registry(self):
-        assert set(BACKENDS) == {"exact", "fast"}
+        assert {"exact", "fast", "array"} <= set(BACKENDS)
         assert get_backend("exact") is BACKENDS["exact"]
         backend = FastBackend()
         assert get_backend(backend) is backend
