@@ -86,6 +86,10 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     anchored = stats["anchored_entries"]
     print(f"anchored {anchored if anchored is not None else '?'}")
     print(f"weight   {stats['weight']}")
+    print(
+        f"spine    {stats['spine_recomputes']} recomputes / "
+        f"{stats['survived_entries']} entries survived (this process)"
+    )
     if stats["degraded"]:
         print("state    DEGRADED (file unusable; see warning)")
     return 0

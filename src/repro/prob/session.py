@@ -54,13 +54,22 @@ engine are now one shared skeleton —
 :func:`repro.prob.traversal.stored_postorder`; the session's passes are
 multi-lane instances of it.
 
-**Mutation epochs.**  When :attr:`repro.pxml.pdocument.PDocument.
-mutation_epoch` changes (code that mutates a p-document in place calls
-``mark_mutated()``), the session re-derives its per-document maps and
-drops the local anchored memo.  The structural store needs no purge:
-mutated subtrees change their digests and simply stop matching, while
-untouched subtrees keep hitting — content addressing makes invalidation
-automatic and minimal.
+**Mutation epochs and spine-only refreshes.**  When :attr:`repro.pxml.
+pdocument.PDocument.mutation_epoch` changes (code that mutates a
+p-document in place calls ``mark_mutated(node)``), the session consults
+:meth:`PDocument.dirty_since`.  For node-scoped mutations it performs a
+*spine refresh*: only local-memo entries keyed on dirty node Ids are
+discarded, stacked batch plans survive (their per-node key caches are
+pruned of dirty Ids and their answer memos cleared), and — when the
+mutation was probability-only, so the maximal world is unchanged —
+cached candidate sets and the world itself stay warm too.  Only a
+whole-document :meth:`PDocument.mark_all_mutated` (or the deprecated
+argument-less ``mark_mutated()``) still triggers the historical full
+reset.  The structural store needs no purge either way: mutated
+subtrees change their digests and simply stop matching, while untouched
+sibling subtrees keep hitting — content addressing makes invalidation
+automatic and minimal, and the session records each spine refresh on
+the store (:meth:`repro.store.MemoStore.record_spine_recompute`).
 
 The session also backs the rewrite layer: plans route their numerator /
 denominator / α-pattern evaluations through
@@ -128,8 +137,14 @@ class SessionStats:
         subtree_skips: whole subtrees skipped without traversal because
             every query of the batch was neutral or hit the memo at their
             root.
-        invalidations: session cache resets (mutation epochs, manual
-            calls).
+        invalidations: full session cache resets (whole-document
+            mutation epochs, manual ``invalidate()`` calls).
+        spine_refreshes: node-scoped mutation epochs absorbed without a
+            full reset — only state keyed on dirty node Ids was dropped.
+        survived_local: cumulative local-memo entries kept live across
+            spine refreshes (node-keyed baseline sessions only).
+        survived_plans: cumulative stacked batch plans kept live across
+            spine refreshes (array backend).
     """
 
     traversals: int = 0
@@ -142,6 +157,9 @@ class SessionStats:
     neutral_skips: int = 0
     subtree_skips: int = 0
     invalidations: int = 0
+    spine_refreshes: int = 0
+    survived_local: int = 0
+    survived_plans: int = 0
 
     def snapshot(self) -> dict:
         return dict(self.__dict__)
@@ -214,9 +232,14 @@ class QuerySession:
         self._epoch = getattr(p, "mutation_epoch", 0)
         self._world = None
         # Stacked-pass plan cache (array backend): batch id-signature ->
-        # (strong query refs, prepared lanes/keyer).  Epoch-scoped; see
-        # repro.prob.stacked.
+        # (strong query refs, prepared lanes/keyer).  Scoped to the
+        # document's maximal world: spine refreshes keep it unless the
+        # mutation changed the world; see repro.prob.stacked.
         self._stacked: dict = {}
+        # Candidate-set cache for the classic pass: id(query) -> (query,
+        # frozenset).  Candidates depend only on the maximal world and
+        # the query, so probability-only mutations keep them warm.
+        self._candidates: dict = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -357,12 +380,17 @@ class QuerySession:
         content-addressed entries are valid beyond this session; clear it
         explicitly via ``session.store.clear()``.
         """
-        self.p.mark_mutated()
+        mark_all = getattr(self.p, "mark_all_mutated", None)
+        if mark_all is not None:
+            mark_all()
+        else:
+            self.p.mark_mutated()
         self._epoch = self.p.mutation_epoch
         if self._local is not None:
             self._local.clear()
         self._world = None
         self._stacked.clear()
+        self._candidates.clear()
         if self._owns_store and self.store is not None:
             self.store.clear()
         self.stats.invalidations += 1
@@ -379,16 +407,59 @@ class QuerySession:
     # ------------------------------------------------------------------
     def _refresh(self) -> None:
         epoch = getattr(self.p, "mutation_epoch", 0)
-        if epoch != self._epoch:
-            # Structural store entries need no purge: mutated subtrees
-            # change their digests and stop matching, untouched ones keep
-            # hitting.  Only identity-keyed state is dropped.
-            self._epoch = epoch
+        if epoch == self._epoch:
+            return
+        # Structural store entries need no purge either way: mutated
+        # subtrees change their digests and stop matching, untouched
+        # ones keep hitting.  Only identity-keyed session state is at
+        # stake here — and for node-scoped mutations (dirty_since) just
+        # the slice of it keyed on dirty node Ids.
+        dirty_since = getattr(self.p, "dirty_since", None)
+        dirty = dirty_since(self._epoch) if dirty_since is not None else None
+        self._epoch = epoch
+        if dirty is None:
             if self._local is not None:
                 self._local.clear()
             self._world = None
             self._stacked.clear()
+            self._candidates.clear()
             self.stats.invalidations += 1
+            return
+        changed, world_changed = dirty
+        stats = self.stats
+        stats.spine_refreshes += 1
+        if self._local is not None:
+            # Local keys are (node_id, fingerprint, targets, gate):
+            # entries for untouched subtrees stay correct and warm.
+            self._local.discard(lambda key: key[0] in changed)
+            stats.survived_local += len(self._local)
+        if world_changed:
+            # Labels or the node set moved: candidate sets, the maximal
+            # world and every stacked plan (whose lanes bake candidate /
+            # live sets in) are all suspect.
+            self._world = None
+            self._candidates.clear()
+            self._stacked.clear()
+        else:
+            # Probability-only mutation: candidates and plans survive.
+            # Plan answer memos still reflect the old masses and per-node
+            # key caches may hold dirty digests — drop just those.
+            survived = 0
+            for key in [k for k in self._stacked if k[0] == "bool"]:
+                del self._stacked[key]
+            for entry in self._stacked.values():
+                plan = entry[1]
+                if plan is None:
+                    continue
+                plan[4].clear()
+                keyer = plan[1]
+                if keyer is not None:
+                    for node_id in changed:
+                        keyer._cache.pop(node_id, None)
+                survived += 1
+            stats.survived_plans += survived
+        if self.store is not None:
+            self.store.record_spine_recompute(len(self.store))
 
     def _max_world(self):
         if self._world is None:
@@ -408,14 +479,33 @@ class QuerySession:
         restarted worker skip building the maximal world entirely.
         """
         store = self.store
+        session_cache = self._candidates
         if store is None:
-            world = self._max_world()
-            return [
-                frozenset(evaluate_deterministic(q, world)) for q in queries
-            ]
+            sets = []
+            for query in queries:
+                hit = session_cache.get(id(query))
+                if hit is not None and hit[0] is query:
+                    sets.append(hit[1])
+                    continue
+                candidates = frozenset(
+                    evaluate_deterministic(query, self._max_world())
+                )
+                if len(session_cache) > 4096:
+                    session_cache.clear()
+                session_cache[id(query)] = (query, candidates)
+                sets.append(candidates)
+            return sets
         document_key = self.p.identity_digest()
-        sets: list[frozenset] = []
+        sets = []
         for engine, query in zip(engines, queries):
+            # World-scoped session cache first: spine refreshes keep it
+            # across probability-only mutations, where the identity
+            # digest (and so the store key) changes but candidates
+            # cannot.  The stored query ref pins id(query) against reuse.
+            hit = session_cache.get(id(query))
+            if hit is not None and hit[0] is query:
+                sets.append(hit[1])
+                continue
             table, _, _ = engine.goal_table_fingerprint(engine.table_labels)
             key = (
                 document_key,
@@ -426,19 +516,23 @@ class QuerySession:
             )
             cached = store.get(key)
             if cached is not None:
-                sets.append(frozenset(cached))
-                continue
-            candidates = frozenset(
-                evaluate_deterministic(query, self._max_world())
-            )
-            # Recomputation means rebuilding the maximal world and running
-            # the deterministic embedding — O(document) — so weight by
-            # document size, not by the (often tiny) candidate count.
-            store.put(
-                key,
-                {node_id: 1.0 for node_id in candidates},
-                weight=self.p.size(),
-            )
+                candidates = frozenset(cached)
+            else:
+                candidates = frozenset(
+                    evaluate_deterministic(query, self._max_world())
+                )
+                # Recomputation means rebuilding the maximal world and
+                # running the deterministic embedding — O(document) — so
+                # weight by document size, not by the (often tiny)
+                # candidate count.
+                store.put(
+                    key,
+                    {node_id: 1.0 for node_id in candidates},
+                    weight=self.p.size(),
+                )
+            if len(session_cache) > 4096:
+                session_cache.clear()
+            session_cache[id(query)] = (query, candidates)
             sets.append(candidates)
         return sets
 

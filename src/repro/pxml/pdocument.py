@@ -14,15 +14,26 @@ materialized by :mod:`repro.pxml.worlds`.
 from __future__ import annotations
 
 import enum
+import warnings
 from fractions import Fraction
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, Union
 
 from ..errors import PDocumentError
 from ..probability import ONE, ZERO
-from ..store.digest import compute_index, compute_positions, fingerprint_digest
+from ..store.digest import (
+    compute_identity_index,
+    compute_index,
+    compute_positions,
+    identity_spine,
+    recompute_spine,
+)
 from ..xml.document import DocNode, Document
 
 __all__ = ["PNodeKind", "PNode", "PDocument"]
+
+#: Cap on the per-document dirty log; a session further behind than this
+#: many mutations falls back to a full cache reset anyway.
+_DIRTY_LOG_LIMIT = 256
 
 
 class PNodeKind(enum.Enum):
@@ -117,11 +128,20 @@ class PDocument:
         self.root = root
         self._index: dict[int, PNode] = {}
         self._mutation_epoch = 0
+        # Node ``_digest`` stamps are valid iff their epoch tag is >= this
+        # floor: whole-document invalidation raises the floor, spine-only
+        # splices restamp just the touched nodes and leave it alone.
+        self._digest_floor = 0
+        # Recent node-scoped mutations as (epoch, changed_ids,
+        # world_changed) triples; epochs below _dirty_floor are unknown
+        # (whole-document invalidation, or log overflow).
+        self._dirty: list[tuple] = []
+        self._dirty_floor = 0
         # Epoch-tagged derived indexes, built lazily (see structural_index /
         # label_index / identity_digest).
         self._structural_index: Optional[tuple] = None
         self._label_index: Optional[tuple] = None
-        self._identity_digest: Optional[tuple] = None
+        self._identity_index: Optional[tuple] = None
         self._anchor_index: Optional[tuple] = None
         for n in root.iter_subtree():
             if n.node_id in self._index:
@@ -163,16 +183,245 @@ class PDocument:
         """Monotone counter of structural mutations.
 
         Session-level caches (:class:`repro.prob.session.QuerySession`)
-        snapshot this value and drop their per-subtree memo entries when it
-        changes.  Code that mutates an already-constructed p-document
-        in place (re-attaching nodes, changing probabilities) must call
-        :meth:`mark_mutated` afterwards.
+        snapshot this value, consult :meth:`dirty_since` when it changes,
+        and either splice (node-scoped mutations) or drop their
+        epoch-tagged state.  Code that mutates an already-constructed
+        p-document in place (re-attaching nodes, changing probabilities,
+        relabeling) must call :meth:`mark_mutated` afterwards with the
+        mutated node.
         """
         return self._mutation_epoch
 
-    def mark_mutated(self) -> None:
-        """Record an in-place structural mutation (bumps the epoch)."""
+    def mark_mutated(self, node: Union["PNode", int, None] = None) -> None:
+        """Record an in-place mutation at ``node`` (node or node Id).
+
+        The spine from ``node`` to the root is the only region whose
+        cached derived state can have changed, so every populated index
+        (structural digests / sizes, label sets, anchor positions, the
+        identity index) is *spliced* in place in O(depth · fan-out)
+        instead of discarded — see :func:`repro.store.digest.
+        recompute_spine`.  The mutation is appended to the dirty log so
+        resident sessions (:meth:`dirty_since`) keep memo entries for
+        untouched sibling subtrees.
+
+        ``node`` may be a node that was just *attached*: any nodes of its
+        subtree not yet known to the document are registered (their Ids
+        must be fresh).  Detaching is the one edit this cannot see —
+        mark the still-attached parent, not the removed child.
+
+        The argument-less form is deprecated: it degrades to
+        :meth:`mark_all_mutated` (whole-document invalidation).
+        """
+        if node is None:
+            warnings.warn(
+                "mark_mutated() without a node invalidates every cached "
+                "digest and index; pass the mutated node (or its Id) for "
+                "O(depth) spine-only maintenance, or call "
+                "mark_all_mutated() for explicit whole-document "
+                "invalidation",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.mark_all_mutated()
+            return
+        if isinstance(node, int):
+            node = self.node(node)
+        self._register_subtree(node)
         self._mutation_epoch += 1
+        epoch = self._mutation_epoch
+        changed, world_changed = self._splice_indexes(node, epoch)
+        self._dirty.append((epoch, changed, world_changed))
+        if len(self._dirty) > _DIRTY_LOG_LIMIT:
+            dropped = self._dirty.pop(0)
+            self._dirty_floor = dropped[0]
+
+    def mark_all_mutated(self) -> None:
+        """Whole-document invalidation: drop every cached derived index.
+
+        The pre-spine behaviour, kept for mutations whose extent is
+        unknown (or after detaching nodes).  Resident sessions see
+        ``dirty_since() is None`` and reset all their caches.
+        """
+        self._mutation_epoch += 1
+        self._digest_floor = self._mutation_epoch
+        self._dirty.clear()
+        self._dirty_floor = self._mutation_epoch
+        self._structural_index = None
+        self._label_index = None
+        self._identity_index = None
+        self._anchor_index = None
+
+    def dirty_since(self, epoch: int) -> Optional[tuple]:
+        """Localized-change summary since ``epoch``, or ``None``.
+
+        Returns ``(changed_ids, world_changed)`` — the union of the
+        dirty-log entries newer than ``epoch`` — when every mutation
+        since then was node-scoped; ``None`` when a whole-document
+        invalidation intervened (or the log was truncated), in which
+        case callers must treat everything as changed.
+        """
+        if epoch < self._dirty_floor:
+            return None
+        changed: set = set()
+        world_changed = False
+        for entry_epoch, entry_changed, entry_world in self._dirty:
+            if entry_epoch > epoch:
+                changed.update(entry_changed)
+                world_changed = world_changed or entry_world
+        return frozenset(changed), world_changed
+
+    def _register_subtree(self, node: PNode) -> None:
+        """Register freshly attached nodes under ``node``; reject clashes
+        and nodes not reachable from the document root."""
+        current: Optional[PNode] = node
+        while current is not None and current is not self.root:
+            current = current.parent
+        if current is None:
+            raise PDocumentError(
+                f"node {node.node_id} is not attached to this document"
+            )
+        for n in node.iter_subtree():
+            known = self._index.get(n.node_id)
+            if known is None:
+                self._index[n.node_id] = n
+            elif known is not n:
+                raise PDocumentError(
+                    f"attached node reuses existing Id {n.node_id}"
+                )
+
+    def _splice_indexes(self, node: PNode, epoch: int) -> tuple:
+        """Splice every populated index along the spine of ``node``.
+
+        Returns ``(changed_ids, world_changed)``.  An index cached at any
+        tag other than the pre-mutation epoch cannot be spliced (it was
+        dropped earlier, or never built) and is reset for lazy full
+        recomputation; if that happens to the structural index itself the
+        change extent is unknown and the conservative spine+subtree id
+        set is reported with ``world_changed`` true.
+        """
+        structural = self._structural_index
+        if structural is None or structural[0] != epoch - 1:
+            self._digest_floor = epoch
+            self._structural_index = None
+            self._label_index = None
+            self._identity_index = None
+            self._anchor_index = None
+            changed = {n.node_id for n in node.iter_subtree()}
+            current: Optional[PNode] = node
+            while current is not None:
+                changed.add(current.node_id)
+                current = current.parent
+            return frozenset(changed), True
+        _, digests, sizes, shapes = structural
+        changed, world_changed = recompute_spine(
+            node, epoch, digests, sizes, shapes
+        )
+        self._structural_index = (epoch, digests, sizes, shapes)
+        identity = self._identity_index
+        if identity is not None and identity[0] == epoch - 1:
+            identity_spine(node, identity[1])
+            self._identity_index = (epoch, identity[1])
+        else:
+            self._identity_index = None
+        label = self._label_index
+        if label is not None and label[0] == epoch - 1:
+            self._resplice_labels(node, label[1])
+            self._label_index = (epoch, label[1])
+        else:
+            self._label_index = None
+        anchors = self._anchor_index
+        if anchors is not None and anchors[0] == epoch - 1:
+            self._resplice_positions(node, anchors[1], digests)
+            self._anchor_index = (epoch, anchors[1])
+        else:
+            self._anchor_index = None
+        return frozenset(changed), world_changed
+
+    def _resplice_labels(self, node: PNode, sets: dict) -> None:
+        """Recompute subtree label sets for ``node`` and its ancestors,
+        in place, stopping as soon as an ancestor's set is unchanged."""
+        stack: list[tuple[PNode, bool]] = [(node, False)]
+        while stack:
+            current, expanded = stack.pop()
+            if not expanded:
+                stack.append((current, True))
+                stack.extend((child, False) for child in current.children)
+                continue
+            accumulated: set = set()
+            if current.label is not None:
+                accumulated.add(current.label)
+            for child in current.children:
+                accumulated |= sets[child.node_id]
+            sets[current.node_id] = frozenset(accumulated)
+        parent = node.parent
+        while parent is not None:
+            accumulated = set()
+            if parent.label is not None:
+                accumulated.add(parent.label)
+            for child in parent.children:
+                accumulated |= sets[child.node_id]
+            frozen = frozenset(accumulated)
+            if sets.get(parent.node_id) == frozen:
+                break
+            sets[parent.node_id] = frozen
+            parent = parent.parent
+
+    def _resplice_positions(
+        self, node: PNode, positions: dict, digests: dict
+    ) -> None:
+        """Splice canonical rank paths after the spine digests moved.
+
+        Digest changes along the spine can shuffle sibling ranks at every
+        spine node, shifting the path *prefix* of entire untouched
+        subtrees; their interior suffixes are digest-derived and cannot
+        change, so they are prefix-rewritten rather than recomputed.
+        Only the mutated subtree itself is re-ranked from scratch.
+        """
+        spine: list[PNode] = []
+        current: Optional[PNode] = node
+        while current is not None:
+            spine.append(current)
+            current = current.parent
+        spine.reverse()
+        spine_ids = {n.node_id for n in spine}
+        for holder in spine[:-1]:
+            base = positions[holder.node_id]
+            probabilities = holder.probabilities
+            if probabilities is None:
+                ranked = sorted(
+                    holder.children, key=lambda c: digests[c.node_id]
+                )
+            else:
+                ranked = sorted(
+                    holder.children,
+                    key=lambda c: (
+                        digests[c.node_id],
+                        str(probabilities[c.node_id]),
+                    ),
+                )
+            for rank, child in enumerate(ranked):
+                new_path = base + (rank,)
+                old_path = positions.get(child.node_id)
+                if new_path == old_path:
+                    continue
+                if child.node_id in spine_ids:
+                    # The next spine iteration (or the final subtree
+                    # re-rank) fixes this child's descendants.
+                    positions[child.node_id] = new_path
+                elif old_path is None:
+                    relative = compute_positions(child, digests)
+                    for node_id, suffix in relative.items():
+                        positions[node_id] = new_path + suffix
+                else:
+                    cut = len(old_path)
+                    for descendant in child.iter_subtree():
+                        positions[descendant.node_id] = (
+                            new_path + positions[descendant.node_id][cut:]
+                        )
+        base = positions[node.node_id]
+        relative = compute_positions(node, digests)
+        for node_id, suffix in relative.items():
+            positions[node_id] = base + suffix
 
     # ------------------------------------------------------------------
     # Accessors
@@ -268,15 +517,15 @@ class PDocument:
         cached = self._structural_index
         if cached is not None and cached[0] == self._mutation_epoch:
             return cached[1], cached[2]
-        digests, sizes = compute_index(self.root, self._mutation_epoch)
-        self._structural_index = (self._mutation_epoch, digests, sizes)
+        digests, sizes, shapes = compute_index(self.root, self._mutation_epoch)
+        self._structural_index = (self._mutation_epoch, digests, sizes, shapes)
         return digests, sizes
 
     def structural_digest(self, node_id: Optional[int] = None) -> str:
         """The structural digest of the subtree at ``node_id`` (root default)."""
         node = self.root if node_id is None else self.node(node_id)
         cached = node._digest
-        if cached is not None and cached[0] == self._mutation_epoch:
+        if cached is not None and cached[0] >= self._digest_floor:
             return cached[1]
         return self.structural_index()[0][node.node_id]
 
@@ -286,20 +535,22 @@ class PDocument:
         return self.structural_digest()
 
     def identity_digest(self) -> str:
-        """Digest of the Id-*aware* canonical form, cached per epoch.
+        """Digest of the Id-*aware* Merkle index, cached per epoch.
 
         Unlike :attr:`document_digest` (which deliberately forgets node
         Ids so isomorphic subtrees coincide), this digest changes when
         node Ids are reassigned.  It keys derived data that *names* node
         Ids — e.g. cached candidate sets — where two isomorphic documents
-        with different Id assignments must not share.
+        with different Id assignments must not share.  Computed as the
+        root entry of :func:`repro.store.digest.compute_identity_index`
+        and spliced in O(depth) by node-scoped :meth:`mark_mutated`.
         """
-        cached = self._identity_digest
+        cached = self._identity_index
         if cached is not None and cached[0] == self._mutation_epoch:
-            return cached[1]
-        digest = fingerprint_digest(self.canonical_key(with_ids=True))
-        self._identity_digest = (self._mutation_epoch, digest)
-        return digest
+            return cached[1][self.root.node_id]
+        identities = compute_identity_index(self.root)
+        self._identity_index = (self._mutation_epoch, identities)
+        return identities[self.root.node_id]
 
     def anchor_index(self) -> dict[int, tuple]:
         """``node_id -> canonical rank path``, cached per mutation epoch.
@@ -327,7 +578,7 @@ class PDocument:
         """Number of nodes (ordinary and distributional) under ``node_id``."""
         node = self.node(node_id)
         cached = node._digest
-        if cached is not None and cached[0] == self._mutation_epoch:
+        if cached is not None and cached[0] >= self._digest_floor:
             return cached[2]
         return self.structural_index()[1][node_id]
 

@@ -24,7 +24,14 @@ from .api import (
     StoreKey,
     is_anchored_key,
 )
-from .digest import compute_index, compute_positions, fingerprint_digest
+from .digest import (
+    compute_identity_index,
+    compute_index,
+    compute_positions,
+    fingerprint_digest,
+    identity_spine,
+    recompute_spine,
+)
 from .keys import SubtreeKeyer
 from .memory import InMemoryStore
 from .sqlite import SqliteStore, open_store
@@ -38,8 +45,11 @@ __all__ = [
     "SqliteStore",
     "open_store",
     "SubtreeKeyer",
+    "compute_identity_index",
     "compute_index",
     "compute_positions",
     "fingerprint_digest",
+    "identity_spine",
     "is_anchored_key",
+    "recompute_spine",
 ]

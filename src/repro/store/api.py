@@ -101,6 +101,12 @@ class MemoStore(ABC):
             anchored evaluations.  Concrete ``get``/``put``
             implementations maintain them via :meth:`_count_get` /
             :meth:`_count_put`.
+        spine_recomputes / survived_entries: write-path counters
+            maintained by :meth:`record_spine_recompute` — how many
+            spine-only document mutations this store lived through, and
+            the cumulative number of entries that stayed live across
+            them (content addressing never purges; mutated subtrees just
+            stop matching).  Surfaced by ``repro store stats``.
     """
 
     def __init__(self) -> None:
@@ -111,6 +117,8 @@ class MemoStore(ABC):
         self.anchored_hits = 0
         self.anchored_misses = 0
         self.anchored_puts = 0
+        self.spine_recomputes = 0
+        self.survived_entries = 0
 
     def _count_get(self, key: StoreKey, hit: bool) -> None:
         """Update the hit/miss counters for one ``get`` probe."""
@@ -128,6 +136,18 @@ class MemoStore(ABC):
         self.puts += 1
         if is_anchored_key(key):
             self.anchored_puts += 1
+
+    def record_spine_recompute(self, survived: int) -> None:
+        """Record one spine-only document mutation against this store.
+
+        ``survived`` is the number of entries still live after the
+        mutation (all of them, for a content-addressed store — nothing
+        is purged; stale digests simply stop matching).  Sessions call
+        this from their spine refresh so ``repro store stats`` can show
+        how much cached work churn preserved.
+        """
+        self.spine_recomputes += 1
+        self.survived_entries += survived
 
     @abstractmethod
     def get(self, key: StoreKey) -> Optional[dict]:
@@ -165,6 +185,8 @@ class MemoStore(ABC):
             "anchored_hits": self.anchored_hits,
             "anchored_misses": self.anchored_misses,
             "anchored_puts": self.anchored_puts,
+            "spine_recomputes": self.spine_recomputes,
+            "survived_entries": self.survived_entries,
         }
 
     def flush(self) -> None:

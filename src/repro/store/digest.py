@@ -18,10 +18,33 @@ evaluation.
 
 Digests are cached on :class:`repro.pxml.pdocument.PNode` (the
 ``_digest`` slot, tagged with the owning document's ``mutation_epoch``)
-and recomputed lazily after :meth:`PDocument.mark_mutated`.  This module
-is deliberately ignorant of the pxml classes — it reads ``kind`` /
-``label`` / ``children`` / ``probabilities`` duck-typed, so the store
-package never imports the document layer.
+and recomputed lazily after a whole-document
+:meth:`PDocument.mark_all_mutated`; a *node-scoped*
+:meth:`PDocument.mark_mutated` instead calls :func:`recompute_spine`,
+which re-derives the mutated subtree and then walks the ancestor chain
+— O(depth) hash recomputations with an early exit as soon as an
+ancestor's digest is unchanged — splicing fresh values into the cached
+maps in place.  This module is deliberately ignorant of the pxml
+classes — it reads ``kind`` / ``label`` / ``children`` /
+``probabilities`` duck-typed, so the store package never imports the
+document layer.
+
+**Shape digests.**  Alongside the structural digest,
+:func:`compute_index` derives a probability-*free* *shape* digest per
+node (kind, label, sorted child shapes — no edge probabilities).  The
+shape digest answers one question cheaply during a spine splice: did
+this mutation change :meth:`PDocument.max_world` (and therefore
+candidate sets), or only probability mass?  A probability-only edit
+changes every structural digest on its spine but no shape digest, so
+sessions keep their candidate caches and stacked batch plans warm.
+
+**Identity digests.**  :func:`compute_identity_index` is the Id-*aware*
+Merkle twin of the structural index: the payload additionally hashes
+each node's Id.  Its root entry replaces the old
+``canonical_key(with_ids=True)``-based document identity digest — same
+discrimination (isomorphic documents with different Id assignments
+never collide), but per-node form makes it spliceable in O(depth) via
+:func:`identity_spine` instead of O(n log n) per mutation.
 
 **Canonical anchor positions.**  :func:`compute_positions` derives, from
 the same digests, a canonical *rank path* for every node: at each parent
@@ -48,8 +71,11 @@ import hashlib
 __all__ = [
     "DIGEST_SIZE",
     "compute_index",
+    "compute_identity_index",
     "compute_positions",
     "fingerprint_digest",
+    "identity_spine",
+    "recompute_spine",
 ]
 
 #: Digest width in bytes (blake2b); 128 bits make collisions negligible
@@ -79,17 +105,82 @@ def fingerprint_digest(table: tuple) -> str:
     return _hash(repr(table).encode("utf-8"))
 
 
-def compute_index(root, epoch: int) -> tuple[dict[int, str], dict[int, int]]:
-    """Structural digests and subtree sizes for every node under ``root``.
+def _structural_payload(node, digests: dict[int, str]) -> bytes:
+    """The hashed structural payload of one node, given child digests."""
+    probabilities = node.probabilities
+    if probabilities is None:  # ordinary node
+        entries = sorted(
+            digests[child.node_id].encode("ascii")
+            for child in node.children
+        )
+        return _FIELD.join(
+            (b"ordinary", node.label.encode("utf-8"), _SIBLING.join(entries))
+        )
+    # Distributional: the edge probability is part of the child entry.
+    entries = sorted(
+        b"%s:%s"
+        % (
+            digests[child.node_id].encode("ascii"),
+            str(probabilities[child.node_id]).encode("ascii"),
+        )
+        for child in node.children
+    )
+    return _FIELD.join(
+        (node.kind.value.encode("ascii"), _SIBLING.join(entries))
+    )
+
+
+def _shape_payload(node, shapes: dict[int, str]) -> bytes:
+    """Probability-free shape payload: kind, label, sorted child shapes."""
+    entries = sorted(
+        shapes[child.node_id].encode("ascii") for child in node.children
+    )
+    if node.probabilities is None:
+        head = b"o" + _FIELD + node.label.encode("utf-8")
+    else:
+        head = node.kind.value.encode("ascii")
+    return head + _FIELD + _SIBLING.join(entries)
+
+
+def _identity_payload(node, identities: dict[int, str]) -> bytes:
+    """Id-aware payload: the structural payload plus the node's own Id."""
+    probabilities = node.probabilities
+    if probabilities is None:
+        entries = sorted(
+            identities[child.node_id].encode("ascii")
+            for child in node.children
+        )
+        body = (b"ordinary", node.label.encode("utf-8"))
+    else:
+        entries = sorted(
+            b"%s:%s"
+            % (
+                identities[child.node_id].encode("ascii"),
+                str(probabilities[child.node_id]).encode("ascii"),
+            )
+            for child in node.children
+        )
+        body = (node.kind.value.encode("ascii"),)
+    return _FIELD.join(
+        (b"id:%d" % node.node_id,) + body + (_SIBLING.join(entries),)
+    )
+
+
+def compute_index(
+    root, epoch: int
+) -> tuple[dict[int, str], dict[int, int], dict[int, str]]:
+    """Structural digests, subtree sizes and shape digests under ``root``.
 
     One iterative post-order pass; every visited node's ``_digest`` slot
     is stamped with ``(epoch, digest, size)`` so subsequent single-node
     lookups are O(1) until the document mutates.
 
-    Returns ``(digests, sizes)`` keyed by ``node_id``.
+    Returns ``(digests, sizes, shapes)`` keyed by ``node_id``; ``shapes``
+    holds the probability-free shape digests (see the module docstring).
     """
     digests: dict[int, str] = {}
     sizes: dict[int, int] = {}
+    shapes: dict[int, str] = {}
     stack = [(root, False)]
     while stack:
         node, expanded = stack.pop()
@@ -97,34 +188,110 @@ def compute_index(root, epoch: int) -> tuple[dict[int, str], dict[int, int]]:
             stack.append((node, True))
             stack.extend((child, False) for child in node.children)
             continue
-        probabilities = node.probabilities
-        if probabilities is None:  # ordinary node
-            entries = sorted(
-                digests[child.node_id].encode("ascii")
-                for child in node.children
-            )
-            payload = _FIELD.join(
-                (b"ordinary", node.label.encode("utf-8"), _SIBLING.join(entries))
-            )
-        else:  # distributional: the edge probability is part of the child entry
-            entries = sorted(
-                b"%s:%s"
-                % (
-                    digests[child.node_id].encode("ascii"),
-                    str(probabilities[child.node_id]).encode("ascii"),
-                )
-                for child in node.children
-            )
-            payload = _FIELD.join(
-                (node.kind.value.encode("ascii"), _SIBLING.join(entries))
-            )
-        digest = _hash(payload)
+        digest = _hash(_structural_payload(node, digests))
         size = 1 + sum(sizes[child.node_id] for child in node.children)
         node_id = node.node_id
         digests[node_id] = digest
         sizes[node_id] = size
+        shapes[node_id] = _hash(_shape_payload(node, shapes))
         node._digest = (epoch, digest, size)
-    return digests, sizes
+    return digests, sizes, shapes
+
+
+def compute_identity_index(root) -> dict[int, str]:
+    """Id-aware Merkle digests for every node under ``root``.
+
+    Same post-order shape as :func:`compute_index` but the payload hashes
+    each node's Id, so two isomorphic subtrees with different Id
+    assignments get different digests.  The root entry is the document's
+    identity digest (:meth:`repro.pxml.pdocument.PDocument.
+    identity_digest`); the per-node form exists so :func:`identity_spine`
+    can splice it in O(depth) after a localized mutation.
+    """
+    identities: dict[int, str] = {}
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if not expanded:
+            stack.append((node, True))
+            stack.extend((child, False) for child in node.children)
+            continue
+        identities[node.node_id] = _hash(_identity_payload(node, identities))
+    return identities
+
+
+def recompute_spine(
+    node,
+    epoch: int,
+    digests: dict[int, str],
+    sizes: dict[int, int],
+    shapes: dict[int, str],
+) -> tuple[set, bool]:
+    """Splice fresh digests for ``node``'s subtree and its ancestor spine.
+
+    The maps (one document's :func:`compute_index` output) are updated
+    **in place**: the mutated subtree is fully re-derived (it may hold
+    new or edited nodes), then the ancestor chain is rehashed bottom-up
+    with an early exit as soon as an ancestor's digest, size and shape
+    are all unchanged — above that point no payload can differ.  Spine
+    nodes get their ``_digest`` slot restamped with ``epoch``; untouched
+    nodes keep their old stamps, which stay valid under the document's
+    ``_digest_floor`` scheme.
+
+    Returns ``(changed_ids, world_changed)``: the ids whose digest
+    actually changed (untouched descendants of the mutated node — same
+    Merkle digest before and after — are *not* reported, so their memo
+    entries survive) and whether the mutation changed the document's
+    maximal world (shape digests differ at the mutated node — label or
+    child-set edits; pure probability edits keep ``world_changed``
+    false).
+    """
+    old_shape = shapes.get(node.node_id)
+    sub_digests, sub_sizes, sub_shapes = compute_index(node, epoch)
+    changed = {
+        node_id
+        for node_id, digest in sub_digests.items()
+        if digests.get(node_id) != digest
+    }
+    world_changed = sub_shapes[node.node_id] != old_shape
+    digests.update(sub_digests)
+    sizes.update(sub_sizes)
+    shapes.update(sub_shapes)
+    current = node.parent
+    while current is not None:
+        node_id = current.node_id
+        digest = _hash(_structural_payload(current, digests))
+        size = 1 + sum(sizes[child.node_id] for child in current.children)
+        shape = _hash(_shape_payload(current, shapes))
+        if (
+            digests.get(node_id) == digest
+            and sizes.get(node_id) == size
+            and shapes.get(node_id) == shape
+        ):
+            break
+        digests[node_id] = digest
+        sizes[node_id] = size
+        shapes[node_id] = shape
+        current._digest = (epoch, digest, size)
+        changed.add(node_id)
+        current = current.parent
+    return changed, world_changed
+
+
+def identity_spine(node, identities: dict[int, str]) -> None:
+    """Splice Id-aware digests for ``node``'s subtree and ancestors.
+
+    The :func:`compute_identity_index` map is updated in place, with the
+    same bottom-up early exit as :func:`recompute_spine`.
+    """
+    identities.update(compute_identity_index(node))
+    current = node.parent
+    while current is not None:
+        digest = _hash(_identity_payload(current, identities))
+        if identities.get(current.node_id) == digest:
+            break
+        identities[current.node_id] = digest
+        current = current.parent
 
 
 def compute_positions(root, digests: dict[int, str]) -> dict[int, tuple]:

@@ -97,6 +97,22 @@ class InMemoryStore(MemoStore):
     def contains(self, key: StoreKey) -> bool:
         return key in self._entries
 
+    def discard(self, predicate) -> int:
+        """Drop every entry whose key satisfies ``predicate``.
+
+        Sessions use this for targeted invalidation of node-keyed local
+        memos after a spine-only mutation (drop the keys naming dirty
+        node Ids, keep the rest).  Heap records of dropped keys go stale
+        and are skipped by the usual lazy-eviction pop.  Returns the
+        number of entries removed (not counted as evictions — these are
+        invalidations, not pressure).
+        """
+        doomed = [key for key in self._entries if predicate(key)]
+        for key in doomed:
+            entry = self._entries.pop(key)
+            self._weight -= entry[_WEIGHT]
+        return len(doomed)
+
     def _evict(self) -> None:
         while (
             self._weight > self.max_weight

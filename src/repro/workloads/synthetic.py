@@ -246,21 +246,44 @@ def churn_workload(
     projects: int = 4,
     rounds: int = 3,
     seed: int = 0,
+    *,
+    write_ratio: Optional[float] = None,
+    hot_fraction: float = 0.25,
+    skew: float = 0.9,
+    bump_share: float = 0.25,
 ) -> tuple[PDocument, list[tuple[str, object]]]:
     """A mutating workload: query batches interleaved with in-place edits.
 
     Models a long-lived session over a document that keeps changing under
-    it — the regime that exercises ``PDocument.mutation_epoch``-driven
-    invalidation of structural digests and memo entries.  Built on
+    it — the regime that exercises spine-only index maintenance and
+    memo-entry survival (``PDocument.mark_mutated(node)``).  Built on
     :func:`batch_workload`; returns ``(p, steps)`` where each step is
 
     * ``("queries", [TreePattern, ...])`` — evaluate the per-project
       batch (through a session, a cache, or per-query calls), or
     * ``("mutate", mutate)`` — ``mutate()`` edits the document in place
-      and bumps the mutation epoch.  Each round alternates two edit
-      kinds: scaling a mux child probability by 3/4 (changes answer
-      probabilities *and* the digests on the mutated path) and bumping a
-      bonus-amount label (changes digests only — answers must stay put).
+      and records the mutated node via ``p.mark_mutated(node)``;
+      ``mutate(full=True)`` performs the identical edit but invalidates
+      the whole document (``mark_all_mutated()``), the baseline arm of
+      ``benchmarks/bench_churn.py``.  Two edit kinds occur: scaling a
+      mux child probability by 3/4 (changes answer probabilities *and*
+      the digests on the mutated path, but not the maximal world) and
+      bumping a bonus-amount label (changes digests and the world —
+      answer probabilities must stay put).
+
+    With the default ``write_ratio=None`` the historical shape is kept:
+    ``rounds`` rounds of exactly ``mutate(prob), queries, mutate(label),
+    queries`` with uniformly random targets.  Passing ``write_ratio``
+    switches to a mixed read/write stream of ``rounds`` steps: each step
+    is a mutation with probability ``write_ratio`` (else a query batch),
+    and mutation targets follow a *skewed hot-subtree* distribution —
+    with probability ``skew`` the target comes from the "hot" first
+    ``hot_fraction`` of the document's mux nodes (early persons), which
+    is the regime where spine-only maintenance pays: the same short
+    spine churns while everything else stays warm.  Label bumps (which
+    change the maximal world, unlike probability scalings) make up
+    ``bump_share`` of the mutations — default a quarter; the rest are
+    probability scalings.
 
     Drivers replay the steps in order and can check, after every batch,
     that session/store answers equal fresh store-free evaluation.
@@ -276,32 +299,50 @@ def churn_workload(
         key=lambda n: n.node_id,
     )
 
-    def scale_probability(target: PNode) -> Callable[[], None]:
-        def mutate() -> None:
+    def scale_probability(target: PNode) -> Callable[..., None]:
+        def mutate(full: bool = False) -> None:
             child = target.children[0]
             assert target.probabilities is not None
             target.probabilities[child.node_id] *= Fraction(3, 4)
-            p.mark_mutated()
+            if full:
+                p.mark_all_mutated()
+            else:
+                p.mark_mutated(target)
 
         return mutate
 
-    def bump_amount(target: PNode) -> Callable[[], None]:
-        def mutate() -> None:
+    def bump_amount(target: PNode) -> Callable[..., None]:
+        def mutate(full: bool = False) -> None:
             target.label = str(int(target.label) + 1)
-            p.mark_mutated()
+            if full:
+                p.mark_all_mutated()
+            else:
+                p.mark_mutated(target)
 
         return mutate
 
     steps: list[tuple[str, object]] = [("queries", queries)]
+    if write_ratio is None:
+        for _ in range(rounds):
+            steps.append(("mutate", scale_probability(rng.choice(muxes))))
+            steps.append(("queries", queries))
+            steps.append(("mutate", bump_amount(rng.choice(amounts))))
+            steps.append(("queries", queries))
+        return p, steps
+    hot = muxes[: max(1, int(len(muxes) * hot_fraction))]
     for _ in range(rounds):
-        steps.append(("mutate", scale_probability(rng.choice(muxes))))
-        steps.append(("queries", queries))
-        steps.append(("mutate", bump_amount(rng.choice(amounts))))
-        steps.append(("queries", queries))
+        if rng.random() >= write_ratio:
+            steps.append(("queries", queries))
+            continue
+        if rng.random() < bump_share:
+            steps.append(("mutate", bump_amount(rng.choice(amounts))))
+            continue
+        pool = hot if rng.random() < skew else muxes
+        steps.append(("mutate", scale_probability(rng.choice(pool))))
     return p, steps
 
 
-def isomorphic_twin(p: PDocument, offset: int = 10_000_000) -> PDocument:
+def isomorphic_twin(p: PDocument, offset: Optional[int] = None) -> PDocument:
     """An isomorphic copy of ``p`` with every node Id shifted by ``offset``.
 
     Same shapes, labels, probabilities and child order — only the Ids
@@ -309,7 +350,17 @@ def isomorphic_twin(p: PDocument, offset: int = 10_000_000) -> PDocument:
     node-for-node while identity-keyed state (candidate sets, node-keyed
     memos) cannot accidentally collide.  The workload for testing and
     benchmarking content-addressed sharing across lookalike documents.
+
+    By default the offset is derived from the source document's largest
+    node Id (the next power of ten past it), so twin Ids can never
+    collide with source Ids no matter how large the generated document
+    grew; pass ``offset`` explicitly to pin the historical shift.
     """
+    if offset is None:
+        top = max(n.node_id for n in p.nodes())
+        offset = 10
+        while offset <= top:
+            offset *= 10
 
     def copy(node: PNode) -> PNode:
         duplicate = PNode(node.node_id + offset, node.kind, node.label)

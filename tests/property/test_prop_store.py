@@ -193,5 +193,8 @@ def test_churn_workload_store_equivalence():
             assert session.answer_many(payload) == [
                 query_answer(p, q) for q in payload
             ]
-    assert session.stats.invalidations == 4  # one per mutation epoch
+    # Node-scoped mutations are absorbed as spine refreshes, not resets.
+    assert session.stats.spine_refreshes == 4  # one per mutation epoch
+    assert session.stats.invalidations == 0
     assert store.stats()["hits"] > 0
+    assert store.stats()["spine_recomputes"] == 4
