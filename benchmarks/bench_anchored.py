@@ -51,13 +51,14 @@ from __future__ import annotations
 
 import argparse
 import itertools
-import json
 import random
 import sys
 import time
 from pathlib import Path
 
 import pytest
+
+from common import best_of as _best_of, write_report
 
 from repro.prob import QuerySession, query_answer
 from repro.pxml import ind, mux, ordinary, pdoc
@@ -206,15 +207,6 @@ def test_twin_document_hits_anchored_entries_cold(report):
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
-def _best_of(repeats: int, fn, *args) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def _measure(setup, persons: int, repeats: int) -> dict:
     p, q, view, extension = setup(persons)
     expected = query_answer(p, q)
@@ -344,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     sizes = SIZES if args.quick else FULL_SIZES
     report = run(sizes, repeats=1 if args.quick else 3)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_report(args.output, report)
     print(f"wrote {args.output}")
     exit_code = 0
     for name, rows in report["results"].items():

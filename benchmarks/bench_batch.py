@@ -25,13 +25,12 @@ pytest-benchmark with exactness asserted against each other.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
 
+from common import best_of as _best_of, max_abs_error as _max_abs_error, write_report
 from repro.prob import QuerySession, query_answer
 from repro.workloads.synthetic import batch_workload
 
@@ -112,27 +111,6 @@ def test_batched_warm_array(benchmark, report, persons):
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
-def _best_of(repeats: int, fn, *args) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _max_abs_error(exact: list[dict], got: list[dict]) -> float:
-    worst = 0.0
-    for d_exact, d_got in zip(exact, got):
-        for node_id in set(d_exact) | set(d_got):
-            error = abs(
-                float(d_got.get(node_id, 0.0))
-                - float(d_exact.get(node_id, 0))
-            )
-            worst = max(worst, error)
-    return worst
-
-
 def _backend_columns(
     p, queries, exact: list[dict], backends: list[str], repeats: int
 ) -> dict:
@@ -249,7 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     sizes = SIZES if args.quick else FULL_SIZES
     backends = ["fast"] if args.backend == "fast" else ["fast", "array"]
     report = run(sizes, repeats=1 if args.quick else 3, backends=backends)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_report(args.output, report)
     largest = report["results"][-1]
     print(f"wrote {args.output}")
     print(

@@ -32,12 +32,12 @@ entries and plans actually survived the writes.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
+
+from common import best_of as _best_of, write_report
 
 from repro.prob import QuerySession, query_answer
 from repro.store import InMemoryStore
@@ -139,15 +139,6 @@ def test_churn_spine_only(benchmark, report, persons):
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
-def _best_of(repeats: int, fn, *args) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def _arm(persons: int, backend: str, full: bool, repeats: int):
     """Warm a session on the stream, then time ``repeats`` replays."""
     p, steps = _workload(persons)
@@ -232,9 +223,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     sizes = SIZES if args.quick else FULL_SIZES
     report = run(sizes, repeats=1 if args.quick else 3)
-    args.output.write_text(
-        json.dumps(report, indent=2) + "\n", encoding="utf-8"
-    )
+    write_report(args.output, report)
     largest = report["results"][-1]
     print(f"wrote {args.output}")
     for backend, column in largest["backends"].items():

@@ -23,12 +23,12 @@ against each other.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
+
+from common import best_of as _best_of, write_report
 
 from repro.prob import EvaluationEngine, node_probability
 from repro.workloads.synthetic import personnel_pdocument, personnel_query
@@ -95,15 +95,6 @@ def test_engine_fast(benchmark, report, persons):
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
-def _best_of(repeats: int, fn, *args) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def run(sizes: list[int], repeats: int = 3) -> dict:
     results = []
     max_abs_error = 0.0
@@ -157,7 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     sizes = [4, 8] if args.quick else [4, 8, 16, 32]
     report = run(sizes, repeats=1 if args.quick else 3)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_report(args.output, report)
     largest = report["results"][-1]
     print(f"wrote {args.output}")
     print(

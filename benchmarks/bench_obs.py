@@ -1,0 +1,148 @@
+"""Telemetry-overhead micro-benchmark: the disabled path must be free.
+
+The ISSUE-8 guard: with tracing *disabled* (the default), the telemetry
+layer may cost at most **2%** on the warm ``bench_batch`` hot path.  Two
+measurements establish it:
+
+* ``disabled_overhead_fraction`` — the *measured* cost of the no-op
+  span fast path on the real workload: the per-call cost of a disabled
+  ``span(...)`` (timed in a tight loop) times the number of spans one
+  warm batch emits (counted under tracing), divided by the warm batch
+  wall time.  Spans are per pass/phase, never per node, so this is a
+  handful of dict-free calls against milliseconds of work.
+* ``enabled_overhead_fraction`` — what turning tracing *on* costs on
+  the same warm batch (not subject to the 2% bar; reported so the docs
+  can quote the price of a profiled run).
+
+Run standalone to emit the machine-readable report::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py           # full
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick   # CI smoke
+
+which writes ``BENCH_obs.json`` at the repository root and exits
+non-zero when the disabled-path bar is missed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from common import best_of, write_report
+
+from repro.obs import (
+    disable_tracing,
+    enable_tracing,
+    span,
+    take_spans,
+    tracing_enabled,
+)
+from repro.prob import QuerySession
+from repro.workloads.synthetic import batch_workload
+
+PERSONS = 32
+QUICK_PERSONS = 12
+PROJECTS = 8
+OVERHEAD_BAR = 0.02
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def _count_spans(spans) -> int:
+    total = 0
+    stack = list(spans)
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.children)
+    return total
+
+
+def _null_span_cost_s(calls: int = 200_000) -> float:
+    """Per-call wall cost of a disabled span at a realistic call site."""
+    assert not tracing_enabled()
+    start = time.perf_counter()
+    for index in range(calls):
+        sp = span("bench.null", queries=index, backend="fast")
+        if sp:  # pragma: no cover - disabled, never taken
+            sp.set("unreachable", True)
+        with sp:
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def run(persons: int, repeats: int = 5) -> dict:
+    p, queries = batch_workload(persons=persons, projects=PROJECTS, seed=persons)
+    session = QuerySession(p, backend="fast")
+    baseline = session.answer_many(queries)  # warm the memo, untimed
+
+    disable_tracing()
+    warm_disabled_s = best_of(repeats, session.answer_many, queries)
+
+    enable_tracing()
+    try:
+        traced = session.answer_many(queries)
+        spans_per_batch = _count_spans(take_spans())
+        warm_enabled_s = best_of(repeats, session.answer_many, queries)
+    finally:
+        disable_tracing()
+    assert traced == baseline  # tracing never changes answers
+
+    null_span_s = _null_span_cost_s()
+    disabled_overhead = spans_per_batch * null_span_s / warm_disabled_s
+    return {
+        "benchmark": "bench_obs",
+        "workload": "workloads/synthetic batch_workload "
+        f"({PROJECTS} per-project queries, warm fast-backend session)",
+        "persons": persons,
+        "queries": len(queries),
+        "repeats": repeats,
+        "warm_disabled_s": warm_disabled_s,
+        "warm_enabled_s": warm_enabled_s,
+        "spans_per_batch": spans_per_batch,
+        "null_span_call_s": null_span_s,
+        "disabled_overhead_fraction": disabled_overhead,
+        "enabled_overhead_fraction": max(
+            0.0, warm_enabled_s / warm_disabled_s - 1.0
+        ),
+        "overhead_bar": OVERHEAD_BAR,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small document / fewer repeats (CI smoke pass)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=OUTPUT,
+        help=f"where to write the JSON report (default: {OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = run(
+        QUICK_PERSONS if args.quick else PERSONS,
+        repeats=3 if args.quick else 5,
+    )
+    write_report(args.output, report)
+    print(f"wrote {args.output}")
+    print(
+        f"spans/batch={report['spans_per_batch']}, "
+        f"null span {report['null_span_call_s'] * 1e9:.0f} ns, "
+        f"disabled overhead {report['disabled_overhead_fraction']:.4%} "
+        f"(bar {OVERHEAD_BAR:.0%}), "
+        f"enabled overhead {report['enabled_overhead_fraction']:.1%}"
+    )
+    if report["disabled_overhead_fraction"] >= OVERHEAD_BAR:
+        print(
+            "FAIL: disabled telemetry exceeds the "
+            f"{OVERHEAD_BAR:.0%} warm-batch overhead bar",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,13 +29,13 @@ against sequential evaluation.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 import pytest
+
+from common import best_of as _best_of, write_report
 
 from repro.prob import QuerySession, query_answer
 from repro.pxml import ind, mux, ordinary, pdoc
@@ -140,15 +140,6 @@ def test_isomorphic_subtrees_hit_cold(report):
 # ----------------------------------------------------------------------
 # Standalone JSON emitter
 # ----------------------------------------------------------------------
-def _best_of(repeats: int, fn, *args) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn(*args)
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
 def run(sizes: list[int], store_dir: Path, repeats: int = 3) -> dict:
     results = []
     for persons in sizes:
@@ -212,7 +203,7 @@ def main(argv: list[str] | None = None) -> int:
     sizes = SIZES if args.quick else FULL_SIZES
     with tempfile.TemporaryDirectory(prefix="bench_store_") as scratch:
         report = run(sizes, Path(scratch), repeats=1 if args.quick else 3)
-    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    write_report(args.output, report)
     largest = report["results"][-1]
     print(f"wrote {args.output}")
     print(

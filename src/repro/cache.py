@@ -34,7 +34,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Optional, Sequence, Union
 
+import weakref
+
 from .errors import NoRewritingError, UnknownViewError
+from .obs.registry import Sample, get_registry
 from .probability import BackendLike, get_backend
 from .prob.session import QuerySession
 from .pxml.pdocument import PDocument
@@ -116,6 +119,8 @@ class RewritingCache:
         self._source_counts: dict[AnswerSource, int] = {
             source: 0 for source in AnswerSource
         }
+        _LIVE_CACHES.add(self)
+        weakref.finalize(self, _retire_cache_counts, self._source_counts)
 
     # ------------------------------------------------------------------
     # View management
@@ -324,3 +329,35 @@ class RewritingCache:
             source=AnswerSource.MULTI_VIEW,
             plan_description=plan.description,
         )
+
+
+#: Live caches feeding the process registry (pull collector): answer
+#: counts stay plain ints per instance; the registry aggregates at read,
+#: folding in the counts of garbage-collected caches (retired by a
+#: finalizer that holds only the counts dict, never the cache).
+_LIVE_CACHES: "weakref.WeakSet[RewritingCache]" = weakref.WeakSet()
+
+_RETIRED_COUNTS: dict = {source: 0 for source in AnswerSource}
+
+
+def _retire_cache_counts(counts: dict) -> None:
+    for source, count in counts.items():
+        _RETIRED_COUNTS[source] += count
+
+
+def _collect_cache_samples():
+    totals = dict(_RETIRED_COUNTS)
+    for cache in list(_LIVE_CACHES):
+        for source, count in cache._source_counts.items():
+            totals[source] += count
+    for source in AnswerSource:
+        yield Sample(
+            "repro_cache_answers_total",
+            "counter",
+            (("source", source.name.lower()),),
+            totals[source],
+            "answers produced per rewriting-cache strategy",
+        )
+
+
+get_registry().register_collector(_collect_cache_samples)

@@ -6,8 +6,11 @@ Examples::
     python -m repro eval  doc.pxml "a/b[c]"    # probabilistic evaluation
     python -m repro eval  doc.pxml "a/b" "a//c" --batch   # one shared pass
     python -m repro eval  doc.pxml "a/b" --store memo.db  # persistent memo
+    python -m repro eval  doc.pxml "a/b" --trace out.jsonl  # span trace
+    python -m repro eval  doc.pxml "a/b" --profile  # per-query cost profile
     python -m repro store warm  memo.db doc.pxml "a/b" "a//c"
     python -m repro store stats memo.db        # inspect a memo store
+    python -m repro stats doc.pxml "a/b"       # metrics registry dump
     python -m repro worlds doc.pxml            # enumerate possible worlds
     python -m repro rewrite doc.pxml "a/b[c]" --view "a/b" --view "a//b"
     python -m repro skeleton "a[b//c]/d//e"    # extended-skeleton check
@@ -42,12 +45,29 @@ def _load(path: str):
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
+    from .obs import disable_tracing, enable_tracing, tracing_enabled
+
     p = _load(args.document)
     queries = [parse_pattern(text) for text in args.query]
     store = SqliteStore(args.store) if args.store else None
+    tracing_was_on = tracing_enabled()
+    if args.trace:
+        enable_tracing(sink=args.trace)
+    profiles = None
     if args.batch:
         session = QuerySession(p, backend=args.backend, store=store)
-        answers = session.answer_many(queries)
+        if args.profile:
+            answers, profiles = session.answer_many(queries, profile=True)
+        else:
+            answers = session.answer_many(queries)
+    elif args.profile:
+        answers, profiles = [], []
+        for q in queries:
+            answer, profile = query_answer(
+                p, q, backend=args.backend, store=store, profile=True
+            )
+            answers.append(answer)
+            profiles.append(profile)
     else:
         answers = [
             query_answer(p, q, backend=args.backend, store=store)
@@ -61,15 +81,48 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             continue
         for node_id, probability in sorted(answer.items()):
             print(f"node {node_id}\tPr = {prob_str(probability)}")
+    if profiles is not None:
+        for profile in profiles:
+            print(profile.render())
     if store is not None:
         stats = store.stats()
         store.close()
         print(
-            f"store {args.store}: {stats['entries']} entries, "
-            f"{stats['hits']} hits / {stats['misses']} misses this run "
-            f"({stats['anchored_hits']} anchored hits / "
-            f"{stats['anchored_misses']} anchored misses)"
+            f"store {args.store}: {stats.get('entries', 0)} entries, "
+            f"{stats.get('hits', 0)} hits / {stats.get('misses', 0)} "
+            f"misses this run "
+            f"({stats.get('anchored_hits', 0)} anchored hits / "
+            f"{stats.get('anchored_misses', 0)} anchored misses)"
         )
+    if args.trace:
+        from .obs import get_tracer
+
+        roots = len(get_tracer().roots) + get_tracer().dropped
+        if not tracing_was_on:
+            disable_tracing()
+        else:
+            get_tracer().close_sink()
+        print(f"trace: {roots} root spans written to {args.trace}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Evaluate a workload, then dump the process metrics registry."""
+    from .obs import get_registry, metrics_table, prometheus_text
+
+    store = SqliteStore(args.store) if args.store else None
+    if args.document and args.query:
+        p = _load(args.document)
+        queries = [parse_pattern(text) for text in args.query]
+        session = QuerySession(p, backend=args.backend, store=store)
+        session.answer_many(queries)
+    registry = get_registry()
+    if args.format == "prometheus":
+        print(prometheus_text(registry), end="")
+    else:
+        print(metrics_table(registry))
+    if store is not None:
+        store.close()
     return 0
 
 
@@ -81,16 +134,23 @@ def _cmd_store_stats(args: argparse.Namespace) -> int:
     store = SqliteStore(args.path, preload=False)
     stats = store.stats()
     store.close()
-    print(f"path     {stats['path']}")
-    print(f"entries  {stats['entries']}")
-    anchored = stats["anchored_entries"]
-    print(f"anchored {anchored if anchored is not None else '?'}")
-    print(f"weight   {stats['weight']}")
+
+    # Tolerate missing/None values (older or foreign stats dicts): render
+    # '?' instead of KeyError-ing — the unified schema is documented in
+    # repro/store/api.py but renderers must stay graceful.
+    def cell(key, default="?"):
+        value = stats.get(key)
+        return default if value is None else value
+
+    print(f"path     {cell('path', args.path)}")
+    print(f"entries  {cell('entries', 0)}")
+    print(f"anchored {cell('anchored_entries')}")
+    print(f"weight   {cell('weight')}")
     print(
-        f"spine    {stats['spine_recomputes']} recomputes / "
-        f"{stats['survived_entries']} entries survived (this process)"
+        f"spine    {cell('spine_recomputes', 0)} recomputes / "
+        f"{cell('survived_entries', 0)} entries survived (this process)"
     )
-    if stats["degraded"]:
+    if stats.get("degraded"):
         print("state    DEGRADED (file unusable; see warning)")
     return 0
 
@@ -216,7 +276,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent structural memo store (SQLite file): subtree "
         "evaluations are reused across queries, documents and runs",
     )
+    p_eval.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="enable span tracing and stream root spans to FILE as JSON "
+        "lines (one span tree per line; see README 'Observability')",
+    )
+    p_eval.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-query cost profile (attributed wall time, "
+        "counters, span tree) after each answer",
+    )
     p_eval.set_defaults(func=_cmd_eval)
+
+    p_metrics = sub.add_parser(
+        "stats",
+        help="dump the process metrics registry, optionally after "
+        "evaluating a workload",
+    )
+    p_metrics.add_argument("document", nargs="?",
+                           help="optional p-document to evaluate first")
+    p_metrics.add_argument("query", nargs="*",
+                           help="TP queries evaluated before the dump")
+    p_metrics.add_argument(
+        "--format",
+        choices=("table", "prometheus"),
+        default="table",
+        help="output format: aligned table (default) or Prometheus text "
+        "exposition",
+    )
+    p_metrics.add_argument(
+        "--store",
+        metavar="PATH",
+        help="persistent memo store consulted by the workload (its "
+        "counters then appear in the dump)",
+    )
+    p_metrics.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="exact",
+        help="numeric backend for the workload evaluation",
+    )
+    p_metrics.set_defaults(func=_cmd_stats)
 
     p_store = sub.add_parser(
         "store", help="inspect/manage a persistent memo store"

@@ -1,0 +1,75 @@
+"""``repro.obs`` — the unified telemetry layer.
+
+Three cooperating pieces (see the ISSUE-8 tentpole):
+
+* a process-wide **metrics registry** (:mod:`repro.obs.registry`) the
+  existing ad-hoc stat bags publish into via pull collectors, keeping
+  their dict shapes;
+* **span-based tracing** (:mod:`repro.obs.trace`) with a strict no-op
+  fast path when disabled — the default;
+* **per-query cost profiles** (:mod:`repro.obs.profile`) assembled from
+  captured spans, surfaced by ``QuerySession.answer_many(...,
+  profile=True)`` and ``query_answer(..., profile=True)``;
+
+plus the exporters (:mod:`repro.obs.export`): metrics table, Prometheus
+text, span tree, JSON-lines traces — wired to ``repro stats`` and
+``repro eval --trace FILE``.
+
+Set ``REPRO_TRACE=1`` (or ``REPRO_TRACE=/path/to/trace.jsonl``) to
+force-enable tracing for a whole process, e.g. a CI test run.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+    get_registry,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    capture,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    take_spans,
+    tracing_enabled,
+)
+from .profile import CostProfile, build_profiles
+from .export import (
+    metrics_table,
+    prometheus_text,
+    read_spans_jsonl,
+    render_span_dicts,
+    write_spans_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "get_registry",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "capture",
+    "disable_tracing",
+    "enable_tracing",
+    "get_tracer",
+    "span",
+    "take_spans",
+    "tracing_enabled",
+    "CostProfile",
+    "build_profiles",
+    "metrics_table",
+    "prometheus_text",
+    "read_spans_jsonl",
+    "render_span_dicts",
+    "write_spans_jsonl",
+]

@@ -1,0 +1,141 @@
+"""Exporters: human-readable tables/trees, JSON lines, Prometheus text.
+
+Three read-side renderings of the telemetry layer:
+
+* :func:`metrics_table` — aligned ``name{labels}  value`` lines of a
+  :class:`~repro.obs.registry.MetricsRegistry` (the ``repro stats``
+  default);
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (``# TYPE`` headers, ``_bucket``/``_sum``/``_count`` histogram
+  series), for scraping or diffing;
+* :func:`render_span_dicts` / :func:`write_spans_jsonl` — an indented
+  span tree for humans, and one JSON object per *root* span per line
+  for machines (the ``repro eval --trace FILE`` format; each line is a
+  nested ``{"name", "duration_s", "attrs", "children"}`` tree).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+__all__ = [
+    "metrics_table",
+    "prometheus_text",
+    "render_span_dicts",
+    "write_spans_jsonl",
+    "read_spans_jsonl",
+]
+
+
+def _labels_text(labels: tuple, quoted: bool) -> str:
+    if not labels:
+        return ""
+    if quoted:
+        body = ",".join(f'{key}="{value}"' for key, value in labels)
+    else:
+        body = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + body + "}"
+
+
+def metrics_table(registry) -> str:
+    """Aligned, sorted, human-readable registry dump."""
+    rows = []
+    for sample in registry.collect():
+        name = sample.name + _labels_text(sample.labels, quoted=False)
+        if sample.kind == "histogram":
+            value = (
+                f"count={sample.value['count']} "
+                f"sum={sample.value['sum']:.6f}s"
+            )
+        else:
+            value = str(sample.value)
+        rows.append((name, value))
+    if not rows:
+        return "(no metrics recorded)"
+    width = max(len(name) for name, _ in rows)
+    return "\n".join(f"{name:<{width}}  {value}" for name, value in rows)
+
+
+def prometheus_text(registry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for sample in registry.collect():
+        if sample.name not in seen_types:
+            seen_types.add(sample.name)
+            if sample.help:
+                lines.append(f"# HELP {sample.name} {sample.help}")
+            lines.append(f"# TYPE {sample.name} {sample.kind}")
+        labels = _labels_text(sample.labels, quoted=True)
+        if sample.kind == "histogram":
+            cumulative = sample.value["buckets"]
+            for bound, count in cumulative.items():
+                bucket_labels = dict(sample.labels)
+                bucket_labels["le"] = repr(float(bound))
+                rendered = ",".join(
+                    f'{key}="{value}"'
+                    for key, value in sorted(bucket_labels.items())
+                )
+                lines.append(f"{sample.name}_bucket{{{rendered}}} {count}")
+            inf_labels = dict(sample.labels)
+            inf_labels["le"] = "+Inf"
+            rendered = ",".join(
+                f'{key}="{value}"' for key, value in sorted(inf_labels.items())
+            )
+            lines.append(
+                f"{sample.name}_bucket{{{rendered}}} {sample.value['count']}"
+            )
+            lines.append(f"{sample.name}_sum{labels} {sample.value['sum']}")
+            lines.append(f"{sample.name}_count{labels} {sample.value['count']}")
+        else:
+            lines.append(f"{sample.name}{labels} {sample.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _span_dict(entry) -> dict:
+    return entry if isinstance(entry, dict) else entry.to_dict()
+
+
+def render_span_dicts(
+    spans: Sequence, indent: str = ""
+) -> str:
+    """Indented human-readable tree of spans (dicts or Span objects)."""
+    lines: list[str] = []
+
+    def emit(entry: dict, depth: int) -> None:
+        attrs = entry.get("attrs", {})
+        rendered = " ".join(f"{key}={value}" for key, value in attrs.items())
+        lines.append(
+            f"{indent}{'  ' * depth}{entry['name']}  "
+            f"{entry['duration_s'] * 1e3:.3f}ms"
+            + (f"  {rendered}" if rendered else "")
+        )
+        for child in entry.get("children", ()):
+            emit(child, depth + 1)
+
+    for entry in spans:
+        emit(_span_dict(entry), 0)
+    return "\n".join(lines)
+
+
+def write_spans_jsonl(spans: Iterable, path: Union[str, Path]) -> int:
+    """One JSON line per root span; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as sink:
+        for entry in spans:
+            sink.write(json.dumps(_span_dict(entry)) + "\n")
+            count += 1
+    return count
+
+
+def read_spans_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSON-lines trace file back into span dicts."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as source:
+        for line in source:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans

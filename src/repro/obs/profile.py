@@ -1,0 +1,123 @@
+"""Per-query cost profiles: where each answer's time went.
+
+A :class:`CostProfile` summarizes one query's share of a traced
+evaluation — built from the root spans captured around the call
+(:class:`repro.obs.trace.capture`).  Batched evaluation is *shared* by
+design (one post-order pass serves every lane), so per-query wall time
+is attributed as an even split of the shared spans' durations across the
+batch: the profiles of one call always sum back to the traced wall time
+(the acceptance invariant of ``repro eval --trace``), and the span tree
+carried on every profile shows the actual shared phases with their
+counters (node visits, store hits/misses, widths, fallbacks).
+
+On demand from the public surfaces::
+
+    answers, profiles = session.answer_many(queries, profile=True)
+    answer, profile = query_answer(p, q, profile=True)
+    print(profiles[0].render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .export import render_span_dicts
+
+__all__ = ["CostProfile", "build_profiles", "aggregate_counters"]
+
+
+def aggregate_counters(span_dicts: Sequence[dict]) -> dict:
+    """Sum every numeric span attribute over a span-dict forest.
+
+    Non-numeric attributes (backend names, gates) are skipped; bools are
+    not counters.  Nested children are included.
+    """
+    totals: dict = {}
+    stack = list(span_dicts)
+    while stack:
+        entry = stack.pop()
+        for key, value in entry.get("attrs", {}).items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+        stack.extend(entry.get("children", ()))
+    return totals
+
+
+@dataclass
+class CostProfile:
+    """One query's cost attribution for one traced evaluation.
+
+    Attributes:
+        label: the query (its XPath form, or a caller-supplied tag).
+        wall_s: this query's attributed share of the traced wall time —
+            the summed root-span durations divided evenly over the batch.
+        share: the attribution fraction (``1 / batch_queries``).
+        batch_queries: how many queries shared the traced work.
+        counters: numeric span attributes summed over the whole traced
+            call (node visits, store hits/misses, widths, fallbacks) —
+            batch totals, shared across the profiles of one call.
+        spans: the traced root spans (JSON-ready dicts, shared).
+    """
+
+    label: str
+    wall_s: float
+    share: float
+    batch_queries: int
+    counters: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "wall_s": self.wall_s,
+            "share": self.share,
+            "batch_queries": self.batch_queries,
+            "counters": dict(self.counters),
+            "spans": self.spans,
+        }
+
+    def render(self) -> str:
+        """Human-readable profile: attribution line, counters, span tree."""
+        lines = [
+            f"query {self.label}: {self.wall_s * 1e3:.3f} ms attributed "
+            f"({self.share:.0%} of a {self.batch_queries}-query batch)"
+        ]
+        if self.counters:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(self.counters.items())
+            )
+            lines.append(f"  counters: {rendered}")
+        tree = render_span_dicts(self.spans, indent="  ")
+        if tree:
+            lines.append(tree)
+        return "\n".join(lines)
+
+
+def build_profiles(spans, labels: Sequence[str]) -> list[CostProfile]:
+    """Profiles for one traced call: even split over ``labels``.
+
+    ``spans`` are the captured root :class:`~repro.obs.trace.Span`
+    objects (or ready span dicts) of the call; ``labels`` one entry per
+    query of the batch.  ``sum(p.wall_s for p in profiles)`` equals the
+    summed root-span durations exactly (up to float addition order).
+    """
+    span_dicts = [
+        entry if isinstance(entry, dict) else entry.to_dict()
+        for entry in spans
+    ]
+    total = sum(entry["duration_s"] for entry in span_dicts)
+    count = max(1, len(labels))
+    counters = aggregate_counters(span_dicts)
+    return [
+        CostProfile(
+            label=str(label),
+            wall_s=total / count,
+            share=1.0 / count,
+            batch_queries=count,
+            counters=counters,
+            spans=span_dicts,
+        )
+        for label in labels
+    ]

@@ -58,6 +58,7 @@ from functools import partial
 from typing import Mapping, Optional, Sequence, Union
 
 from ..errors import PatternError
+from ..obs.trace import span as trace_span
 from ..probability import (
     BackendLike,
     NumericBackend,
@@ -415,7 +416,19 @@ class EvaluationEngine:
 
         One unpinned DP traversal; returns a backend value.
         """
-        return self.mass(self._single_pass())
+        sp = trace_span(
+            "engine.match",
+            patterns=len(self.patterns),
+            backend=self.backend.name,
+            anchored=bool(self.anchors),
+        )
+        if sp:
+            visits_before = self.visits
+        with sp:
+            mass = self.mass(self._single_pass())
+        if sp:
+            sp.set("node_visits", self.visits - visits_before)
+        return mass
 
     def candidate_ids(self) -> set[int]:
         """Node Ids that *some* world may select for every pattern jointly.
@@ -445,16 +458,28 @@ class EvaluationEngine:
         candidate_set = frozenset(candidates)
         if not candidate_set:
             return {}
-        zero = self._zero
-        _, pinned = self._pinned_pass(candidate_set)
-        answer: dict = {}
-        for node_id in sorted(candidate_set):
-            distribution = pinned.get(node_id)
-            if distribution is None:
-                continue
-            probability = self.mass(distribution)
-            if probability > zero:
-                answer[node_id] = probability
+        sp = trace_span(
+            "engine.answer",
+            patterns=len(self.patterns),
+            backend=self.backend.name,
+            candidates=len(candidate_set),
+        )
+        if sp:
+            visits_before = self.visits
+        with sp:
+            zero = self._zero
+            _, pinned = self._pinned_pass(candidate_set)
+            answer: dict = {}
+            for node_id in sorted(candidate_set):
+                distribution = pinned.get(node_id)
+                if distribution is None:
+                    continue
+                probability = self.mass(distribution)
+                if probability > zero:
+                    answer[node_id] = probability
+        if sp:
+            sp.set("node_visits", self.visits - visits_before)
+            sp.set("answers", len(answer))
         return answer
 
     # ------------------------------------------------------------------
@@ -756,7 +781,8 @@ def query_answer(
     backend: BackendLike = "exact",
     stats: Optional[dict] = None,
     store: Optional[MemoStore] = None,
-) -> dict:
+    profile: bool = False,
+):
     """``q(P̂)``: node Id ↦ probability, for all nodes with probability > 0.
 
     Candidates are read off the maximal world (a superset of every world);
@@ -769,7 +795,17 @@ def query_answer(
             ``candidates``.
         store: optional structural memo store consulted/filled by the
             traversal (see :class:`EvaluationEngine`).
+        profile: trace the call (enabling tracing for its duration if it
+            was off) and return ``(answer, profile)`` where ``profile``
+            is the query's :class:`repro.obs.CostProfile`.
     """
+    if profile:
+        from ..obs.profile import build_profiles
+        from ..obs.trace import capture as trace_capture
+
+        with trace_capture() as captured:
+            answer = query_answer(p, q, backend, stats, store)
+        return answer, build_profiles(captured.spans, [q.xpath()])[0]
     engine = EvaluationEngine(p, [q], backend=backend, store=store)
     candidates = engine.candidate_ids()
     answer = engine.answer(candidates)

@@ -79,10 +79,13 @@ denominator / α-pattern evaluations through
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from functools import partial
 from typing import Optional, Sequence, Union
 
+from ..obs.registry import Sample, get_registry
+from ..obs.trace import capture as trace_capture, span as trace_span
 from ..probability import BackendLike, NumericBackend, get_backend
 from ..pxml.pdocument import PDocument
 from ..store import (
@@ -165,6 +168,43 @@ class SessionStats:
         return dict(self.__dict__)
 
 
+#: Live sessions feeding the process registry (pull collector): the
+#: plain-int SessionStats fields stay the hot-path shards; the registry
+#: aggregates them at read time as ``repro_session_*`` series.  Stats of
+#: garbage-collected sessions are retired into a process total first
+#: (a finalizer holds the stats bag, never the session), keeping the
+#: series monotone across instance lifetimes.
+_LIVE_SESSIONS: "weakref.WeakSet[QuerySession]" = weakref.WeakSet()
+
+_RETIRED_TOTALS: dict = {}
+
+
+def _retire_session_stats(stats: SessionStats) -> None:
+    for field, value in stats.__dict__.items():
+        _RETIRED_TOTALS[field] = _RETIRED_TOTALS.get(field, 0) + value
+
+
+def _collect_session_samples():
+    totals: dict[str, int] = dict(_RETIRED_TOTALS)
+    sessions = 0
+    for session in list(_LIVE_SESSIONS):
+        sessions += 1
+        for field, value in session.stats.__dict__.items():
+            totals[field] = totals.get(field, 0) + value
+    yield Sample(
+        "repro_sessions_live", "gauge", (), sessions,
+        "QuerySession instances currently alive",
+    )
+    for field in sorted(totals):
+        yield Sample(
+            f"repro_session_{field}_total", "counter", (), totals[field],
+            f"SessionStats.{field} summed over the process's sessions",
+        )
+
+
+get_registry().register_collector(_collect_session_samples)
+
+
 class QuerySession:
     """A batched-evaluation session over one p-document.
 
@@ -240,11 +280,15 @@ class QuerySession:
         # frozenset).  Candidates depend only on the maximal world and
         # the query, so probability-only mutations keep them warm.
         self._candidates: dict = {}
+        _LIVE_SESSIONS.add(self)
+        weakref.finalize(self, _retire_session_stats, self.stats)
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def answer_many(self, queries: Sequence[TreePattern]) -> list[dict]:
+    def answer_many(
+        self, queries: Sequence[TreePattern], profile: bool = False
+    ):
         """``[q(P̂) for q in queries]`` from one shared post-order pass.
 
         Per-query candidates are read off the shared maximal world; all
@@ -253,41 +297,70 @@ class QuerySession:
         structural memo store.  Equals per-query
         :meth:`EvaluationEngine.answer` exactly (``exact`` backend) /
         within floating-point error (``fast``).
+
+        With ``profile=True`` the call is traced (tracing is enabled for
+        its duration if it was off) and returns ``(answers, profiles)``
+        — one :class:`repro.obs.CostProfile` per query, whose attributed
+        wall times sum to the traced wall time of the call.
         """
         queries = list(queries)
+        if profile:
+            from ..obs.profile import build_profiles
+
+            with trace_capture() as captured:
+                answers = self.answer_many(queries)
+            return answers, build_profiles(
+                captured.spans, [q.xpath() for q in queries]
+            )
         if not queries:
             return []
-        self._refresh()
-        if getattr(self.backend, "vectorized_sessions", False):
-            from .stacked import stacked_answer_many
+        sp = trace_span(
+            "session.answer_many",
+            queries=len(queries),
+            backend=self.backend.name,
+        )
+        with sp:
+            self._refresh()
+            if getattr(self.backend, "vectorized_sessions", False):
+                from .stacked import stacked_answer_many
 
-            answers = stacked_answer_many(self, queries)
-            if answers is not None:
-                self.stats.queries += len(queries)
-                return answers
-        engines = [
-            EvaluationEngine(self.p, [q], backend=self.backend) for q in queries
-        ]
-        candidate_sets = self._candidate_sets(engines, queries)
-        live_sets = [self.p.ancestral_closure(cs) for cs in candidate_sets]
-        pinned_maps = self._pinned_batch_pass(engines, candidate_sets, live_sets)
-        zero = self.backend.zero
-        answers: list[dict] = []
-        for engine, query, candidates, pinned in zip(
-            engines, queries, candidate_sets, pinned_maps
-        ):
-            target = engine.pattern_target(query)
-            answer: dict = {}
-            for node_id in sorted(candidates):
-                distribution = pinned.get(node_id)
-                if distribution is None:
-                    continue
-                probability = engine.mass(distribution, target)
-                if probability > zero:
-                    answer[node_id] = probability
-            answers.append(answer)
-        self.stats.queries += len(queries)
-        return answers
+                answers = stacked_answer_many(self, queries)
+                if answers is not None:
+                    self.stats.queries += len(queries)
+                    if sp:
+                        sp.set("answers", sum(len(a) for a in answers))
+                    return answers
+            engines = [
+                EvaluationEngine(self.p, [q], backend=self.backend)
+                for q in queries
+            ]
+            candidate_sets = self._candidate_sets(engines, queries)
+            live_sets = [
+                self.p.ancestral_closure(cs) for cs in candidate_sets
+            ]
+            pinned_maps = self._pinned_batch_pass(
+                engines, candidate_sets, live_sets
+            )
+            zero = self.backend.zero
+            answers: list[dict] = []
+            for engine, query, candidates, pinned in zip(
+                engines, queries, candidate_sets, pinned_maps
+            ):
+                target = engine.pattern_target(query)
+                answer: dict = {}
+                for node_id in sorted(candidates):
+                    distribution = pinned.get(node_id)
+                    if distribution is None:
+                        continue
+                    probability = engine.mass(distribution, target)
+                    if probability > zero:
+                        answer[node_id] = probability
+                answers.append(answer)
+            self.stats.queries += len(queries)
+            if sp:
+                sp.set("candidates", sum(len(cs) for cs in candidate_sets))
+                sp.set("answers", sum(len(a) for a in answers))
+            return answers
 
     def answer(self, q: TreePattern) -> dict:
         """``q(P̂)`` — one query, still through the session memo."""
@@ -313,6 +386,15 @@ class QuerySession:
             normalized.append((list(patterns), anchors))
         if not normalized:
             return []
+        sp = trace_span(
+            "session.boolean_many",
+            items=len(normalized),
+            backend=self.backend.name,
+        )
+        with sp:
+            return self._boolean_many(normalized, sp)
+
+    def _boolean_many(self, normalized, sp) -> list:
         self._refresh()
         vectorized = getattr(self.backend, "vectorized_sessions", False)
         key = None
@@ -331,6 +413,8 @@ class QuerySession:
                     self.stats.memo_hits += len(normalized)
                     self.stats.subtree_skips += 1
                     self.stats.queries += len(normalized)
+                    if sp:
+                        sp.set("stacked_memo_hit", True)
                     return list(hit[1])
         engines = [
             EvaluationEngine(self.p, patterns, anchors, self.backend)
@@ -417,6 +501,12 @@ class QuerySession:
         dirty_since = getattr(self.p, "dirty_since", None)
         dirty = dirty_since(self._epoch) if dirty_since is not None else None
         self._epoch = epoch
+        with trace_span(
+            "session.refresh", spine=dirty is not None
+        ) as sp:
+            self._apply_refresh(dirty, sp)
+
+    def _apply_refresh(self, dirty, sp) -> None:
         if dirty is None:
             if self._local is not None:
                 self._local.clear()
@@ -428,6 +518,9 @@ class QuerySession:
         changed, world_changed = dirty
         stats = self.stats
         stats.spine_refreshes += 1
+        if sp:
+            sp.set("dirty_nodes", len(changed))
+            sp.set("world_changed", world_changed)
         if self._local is not None:
             # Local keys are (node_id, fingerprint, targets, gate):
             # entries for untouched subtrees stay correct and warm.
@@ -478,6 +571,17 @@ class QuerySession:
         share) plus the full goal-table fingerprint.  A warm store lets a
         restarted worker skip building the maximal world entirely.
         """
+        with trace_span(
+            "session.candidates", queries=len(queries)
+        ) as sp:
+            sets = self._candidate_sets_inner(engines, queries)
+            if sp:
+                sp.set("candidates", sum(len(s) for s in sets))
+            return sets
+
+    def _candidate_sets_inner(
+        self, engines: list[EvaluationEngine], queries: list[TreePattern]
+    ) -> list[frozenset]:
         store = self.store
         session_cache = self._candidates
         if store is None:
@@ -576,9 +680,7 @@ class QuerySession:
                 engines, candidate_sets, live_sets
             )
         ]
-        roots = stored_postorder(
-            self.p, lanes, self.store, self._local, self.stats
-        )
+        roots = self._traced_postorder(lanes, pinned=True)
         self.stats.traversals += 1
         return [root[1] for root in roots]
 
@@ -601,8 +703,44 @@ class QuerySession:
             )
             for engine in engines
         ]
-        roots = stored_postorder(
-            self.p, lanes, self.store, self._local, self.stats
-        )
+        roots = self._traced_postorder(lanes, pinned=False)
         self.stats.traversals += 1
+        return roots
+
+    def _traced_postorder(self, lanes: list, pinned: bool) -> list:
+        """Run :func:`stored_postorder`, under a traversal span if tracing.
+
+        The span records per-pass deltas of the session counters (node
+        visits, memo and store hit/miss traffic) — cheap because the
+        snapshots happen once per pass, never per node.
+        """
+        sp = trace_span(
+            "session.traversal", lanes=len(lanes), pinned=pinned
+        )
+        if sp:
+            stats_before = self.stats.snapshot()
+            store = self.store
+            store_before = (
+                (store.hits, store.misses) if store is not None else (0, 0)
+            )
+        with sp:
+            roots = stored_postorder(
+                self.p, lanes, self.store, self._local, self.stats
+            )
+        if sp:
+            after = self.stats
+            sp.set(
+                "node_visits", after.node_visits - stats_before["node_visits"]
+            )
+            sp.set("memo_hits", after.memo_hits - stats_before["memo_hits"])
+            sp.set(
+                "memo_misses", after.memo_misses - stats_before["memo_misses"]
+            )
+            sp.set(
+                "subtree_skips",
+                after.subtree_skips - stats_before["subtree_skips"],
+            )
+            if self.store is not None:
+                sp.set("store_hits", self.store.hits - store_before[0])
+                sp.set("store_misses", self.store.misses - store_before[1])
         return roots

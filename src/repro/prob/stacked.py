@@ -59,6 +59,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Optional, Sequence
 
+from ..obs.trace import span as trace_span
 from ..probability_array import (
     ArrayDistribution,
     ArrayOps,
@@ -675,54 +676,8 @@ def stacked_answer_many(session, queries: list) -> Optional[list]:
     key = ("answer", tuple(map(id, queries)))
     plan = cache.get(key)
     if plan is None:
-        engines = [
-            EvaluationEngine(session.p, [q], backend=session.backend)
-            for q in queries
-        ]
-        if not _supported(session, engines):
-            cache[key] = (tuple(queries), None)
-            return None
-        # The candidate spine combines per-lane on dict views; plain
-        # float kernels beat the vector ops' domain dispatch on those
-        # tiny dicts.  Rebind after the _supported probe (which checks
-        # for the vector ops) — the stacked region never consults the
-        # engines' kernels.
-        scalar = session.backend.scalar_ops()
-        for engine in engines:
-            engine._ops = scalar
-            engine._unit = scalar.unit
-            engine._convolve = scalar.convolve
-            engine._mixture = scalar.mixture
-        candidate_sets = session._candidate_sets(engines, queries)
-        live_sets = [session.p.ancestral_closure(cs) for cs in candidate_sets]
-        union_live = frozenset().union(*live_sets) if live_sets else frozenset()
-        use_memo = session.store is not None
-        lanes = [
-            _StackedLane(
-                engine,
-                session._keyer(engine) if use_memo else None,
-                live=live,
-                candidates=candidates,
-            )
-            for engine, candidates, live in zip(
-                engines, candidate_sets, live_sets
-            )
-        ]
-        keyer = (
-            StackedKeyer(
-                session.p, [lane.keyer for lane in lanes], GATE_BLOCKED
-            )
-            if use_memo
-            else None
-        )
-        targets = [
-            engine.pattern_target(q) for engine, q in zip(engines, queries)
-        ]
-        if len(cache) > 4096:
-            cache.clear()
-        plan = cache[key] = (
-            tuple(queries), (lanes, keyer, union_live, targets, []),
-        )
+        with trace_span("stacked.plan_build", queries=len(queries)):
+            plan = _build_answer_plan(session, queries, cache, key)
     if plan[1] is None:
         return None
     lanes, keyer, union_live, targets, memo = plan[1]
@@ -732,13 +687,25 @@ def stacked_answer_many(session, queries: list) -> Optional[list]:
         stats = session.stats
         stats.memo_hits += len(lanes)
         stats.subtree_skips += 1
+        if sp := trace_span("stacked.replay", queries=len(queries)):
+            with sp:
+                sp.set("answers", sum(len(a) for a in memo[0]))
         return [dict(answer) for answer in memo[0]]
     if not union_live:
         # No candidates anywhere: every answer is empty, no pass needed.
         return [{} for _ in queries]
-    root = _StackedPass(
-        session, lanes, GATE_BLOCKED, keyer, union_live
-    ).run()
+    sp = trace_span("stacked.pass", lanes=len(lanes), gate="blocked")
+    if sp:
+        fallbacks_before = getattr(session.backend, "fallbacks", 0)
+    with sp:
+        root = _StackedPass(
+            session, lanes, GATE_BLOCKED, keyer, union_live
+        ).run()
+    if sp:
+        sp.set(
+            "fallbacks",
+            getattr(session.backend, "fallbacks", 0) - fallbacks_before,
+        )
     session.stats.traversals += 1
     zero = session.backend.zero
     # Root is a split entry ("p", per-lane (blocked, pinned)).
@@ -757,6 +724,63 @@ def stacked_answer_many(session, queries: list) -> Optional[list]:
         answers.append(answer)
     memo.append(answers)
     return [dict(answer) for answer in answers]
+
+
+def _build_answer_plan(session, queries: list, cache: dict, key: tuple):
+    """Build (and cache) the stacked batch plan entry for ``queries``.
+
+    Returns the cache entry ``(strong query refs, plan-or-None)``; a
+    ``None`` plan records that this batch must take the classic pass.
+    """
+    engines = [
+        EvaluationEngine(session.p, [q], backend=session.backend)
+        for q in queries
+    ]
+    if not _supported(session, engines):
+        entry = cache[key] = (tuple(queries), None)
+        return entry
+    # The candidate spine combines per-lane on dict views; plain
+    # float kernels beat the vector ops' domain dispatch on those
+    # tiny dicts.  Rebind after the _supported probe (which checks
+    # for the vector ops) — the stacked region never consults the
+    # engines' kernels.
+    scalar = session.backend.scalar_ops()
+    for engine in engines:
+        engine._ops = scalar
+        engine._unit = scalar.unit
+        engine._convolve = scalar.convolve
+        engine._mixture = scalar.mixture
+    candidate_sets = session._candidate_sets(engines, queries)
+    live_sets = [session.p.ancestral_closure(cs) for cs in candidate_sets]
+    union_live = frozenset().union(*live_sets) if live_sets else frozenset()
+    use_memo = session.store is not None
+    lanes = [
+        _StackedLane(
+            engine,
+            session._keyer(engine) if use_memo else None,
+            live=live,
+            candidates=candidates,
+        )
+        for engine, candidates, live in zip(
+            engines, candidate_sets, live_sets
+        )
+    ]
+    keyer = (
+        StackedKeyer(
+            session.p, [lane.keyer for lane in lanes], GATE_BLOCKED
+        )
+        if use_memo
+        else None
+    )
+    targets = [
+        engine.pattern_target(q) for engine, q in zip(engines, queries)
+    ]
+    if len(cache) > 4096:
+        cache.clear()
+    entry = cache[key] = (
+        tuple(queries), (lanes, keyer, union_live, targets, []),
+    )
+    return entry
 
 
 def stacked_boolean_key(normalized: list) -> Optional[tuple]:
@@ -809,7 +833,16 @@ def stacked_boolean_many(
         if use_memo
         else None
     )
-    root = _StackedPass(session, lanes, GATE_UNPINNED, keyer).run()
+    sp = trace_span("stacked.pass", lanes=len(lanes), gate="unpinned")
+    if sp:
+        fallbacks_before = getattr(session.backend, "fallbacks", 0)
+    with sp:
+        root = _StackedPass(session, lanes, GATE_UNPINNED, keyer).run()
+    if sp:
+        sp.set(
+            "fallbacks",
+            getattr(session.backend, "fallbacks", 0) - fallbacks_before,
+        )
     session.stats.traversals += 1
     tag = root[0]
     if tag == "s":

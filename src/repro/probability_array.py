@@ -37,10 +37,12 @@ importing this module without it raises
 
 from __future__ import annotations
 
+import weakref
 from fractions import Fraction
 from typing import Optional
 
 from .errors import MissingDependencyError
+from .obs.registry import Sample, get_registry
 from .probability import ProbabilityLike, ScalarOps, as_fraction
 
 __all__ = [
@@ -422,6 +424,30 @@ _EXACT_PROXY = _ExactProxy()
 #: space well below the machine-word limit.
 _MAX_VECTOR_GOAL_BITS = 48
 
+#: Live array backends feeding the registry pull collector below; the
+#: per-instance ``fallbacks`` counter stays a plain int slot on the hot
+#: path, retired into the process total when a backend is collected.
+_LIVE_BACKENDS: "weakref.WeakSet" = weakref.WeakSet()
+
+_RETIRED_FALLBACKS = [0]
+
+
+def _retire_fallbacks(count: list) -> None:
+    _RETIRED_FALLBACKS[0] += count[0]
+
+
+def _collect_backend_samples():
+    total = _RETIRED_FALLBACKS[0] + sum(
+        backend.fallbacks for backend in list(_LIVE_BACKENDS)
+    )
+    yield Sample(
+        "repro_array_fallbacks_total", "counter", (), total,
+        "width-threshold escapes from vectorized kernels to exact dicts",
+    )
+
+
+get_registry().register_collector(_collect_backend_samples)
+
 
 class ArrayBackend:
     """Numpy-vectorized ``float`` backend (``"array"``).
@@ -453,10 +479,22 @@ class ArrayBackend:
         self.np = _import_numpy()
         self.width_threshold = int(width_threshold)
         self.dense_span = int(dense_span)
-        #: Cumulative count of width-threshold escapes to exact dicts.
-        self.fallbacks = 0
+        # One-slot bag for the fallback counter so a finalizer can
+        # retire it into the process total without holding the backend.
+        self._fallback_count = [0]
         self._ops_cache: dict[int, ArrayOps] = {}
         self._scalar_fallback: Optional[ScalarOps] = None
+        _LIVE_BACKENDS.add(self)
+        weakref.finalize(self, _retire_fallbacks, self._fallback_count)
+
+    @property
+    def fallbacks(self) -> int:
+        """Cumulative count of width-threshold escapes to exact dicts."""
+        return self._fallback_count[0]
+
+    @fallbacks.setter
+    def fallbacks(self, value: int) -> None:
+        self._fallback_count[0] = value
 
     @staticmethod
     def convert(value: ProbabilityLike) -> float:

@@ -19,6 +19,8 @@ from fractions import Fraction
 from typing import Iterable, Iterator, Optional, Union
 
 from ..errors import PDocumentError
+from ..obs.registry import get_registry
+from ..obs.trace import span as trace_span
 from ..probability import ONE, ZERO
 from ..store.digest import (
     compute_identity_index,
@@ -34,6 +36,17 @@ __all__ = ["PNodeKind", "PNode", "PDocument"]
 #: Cap on the per-document dirty log; a session further behind than this
 #: many mutations falls back to a full cache reset anyway.
 _DIRTY_LOG_LIMIT = 256
+
+#: Registry counters for derived-index maintenance: O(depth) spine
+#: splices after node-scoped mutations vs full O(n) digest rebuilds.
+_SPINE_SPLICES = get_registry().counter(
+    "repro_pdocument_spine_splices_total",
+    help="node-scoped mutations absorbed by O(depth) index splices",
+)
+_DIGEST_REBUILDS = get_registry().counter(
+    "repro_pdocument_digest_rebuilds_total",
+    help="full structural-index recomputations (cold or invalidated)",
+)
 
 
 class PNodeKind(enum.Enum):
@@ -229,7 +242,12 @@ class PDocument:
         self._register_subtree(node)
         self._mutation_epoch += 1
         epoch = self._mutation_epoch
-        changed, world_changed = self._splice_indexes(node, epoch)
+        _SPINE_SPLICES.inc()
+        with trace_span("pdocument.spine_splice", node=node.node_id) as sp:
+            changed, world_changed = self._splice_indexes(node, epoch)
+            if sp:
+                sp.set("changed", len(changed))
+                sp.set("world_changed", world_changed)
         self._dirty.append((epoch, changed, world_changed))
         if len(self._dirty) > _DIRTY_LOG_LIMIT:
             dropped = self._dirty.pop(0)
@@ -517,7 +535,11 @@ class PDocument:
         cached = self._structural_index
         if cached is not None and cached[0] == self._mutation_epoch:
             return cached[1], cached[2]
-        digests, sizes, shapes = compute_index(self.root, self._mutation_epoch)
+        _DIGEST_REBUILDS.inc()
+        with trace_span("pdocument.digest_index", nodes=self.size()):
+            digests, sizes, shapes = compute_index(
+                self.root, self._mutation_epoch
+            )
         self._structural_index = (self._mutation_epoch, digests, sizes, shapes)
         return digests, sizes
 

@@ -42,6 +42,7 @@ from fractions import Fraction
 from typing import Callable, Optional, Sequence, Union
 
 from ..errors import RewritingError
+from ..obs.trace import span as trace_span
 from ..probability import BackendLike, ZERO, as_fraction, get_backend
 from ..prob.session import QuerySession
 from ..store import MemoStore
@@ -275,29 +276,34 @@ class TPRewritePlan:
         session pass (:meth:`QuerySession.boolean_many`) over that
         holder's subdocument instead of one traversal per subset.
         """
-        total = backend.zero
-        one = backend.one
-        indices = range(len(holders))
-        by_top: dict[int, list[tuple]] = {}
-        for size in range(1, len(holders) + 1):
-            sign = one if size % 2 == 1 else -one
-            for subset in itertools.combinations(indices, size):
-                chosen = [holders[i] for i in subset]
-                by_top.setdefault(chosen[0], []).append((sign, chosen))
-        for top, group in by_top.items():
-            denominator = self._denominator(extension, top, backend)
-            if not denominator:
-                continue
-            base = backend.convert(extension.selection[top]) / denominator
-            items = [
-                self._joint_event_item(extension, node_id, subset)
-                for _, subset in group
-            ]
-            probabilities = self._subdocument_session(
-                extension, top
-            ).boolean_many(items)
-            for (sign, _), probability in zip(group, probabilities):
-                total = total + sign * (base * probability)
+        with trace_span("rewrite.t2.alpha", holders=len(holders)) as sp:
+            total = backend.zero
+            one = backend.one
+            indices = range(len(holders))
+            by_top: dict[int, list[tuple]] = {}
+            for size in range(1, len(holders) + 1):
+                sign = one if size % 2 == 1 else -one
+                for subset in itertools.combinations(indices, size):
+                    chosen = [holders[i] for i in subset]
+                    by_top.setdefault(chosen[0], []).append((sign, chosen))
+            subsets = 0
+            for top, group in by_top.items():
+                denominator = self._denominator(extension, top, backend)
+                if not denominator:
+                    continue
+                base = backend.convert(extension.selection[top]) / denominator
+                items = [
+                    self._joint_event_item(extension, node_id, subset)
+                    for _, subset in group
+                ]
+                probabilities = self._subdocument_session(
+                    extension, top
+                ).boolean_many(items)
+                subsets += len(items)
+                for (sign, _), probability in zip(group, probabilities):
+                    total = total + sign * (base * probability)
+            if sp:
+                sp.set("subsets", subsets)
         return total
 
     def _joint_event_item(
@@ -422,20 +428,27 @@ class TPRewritePlan:
         answer: dict[int, Union[Fraction, float]] = {}
         if not candidates:
             return answer
-        zero = backend.zero
-        if self.restricted:
-            if session is None:
-                session, _, _ = self._caches_for(extension)
-            probabilities = self._restricted_batch(
-                extension, candidates, session, backend
-            )
-        else:
-            probabilities = [
-                self.fr(extension, node_id) for node_id in candidates
-            ]
-        for node_id, probability in zip(candidates, probabilities):
-            if probability > zero:
-                answer[node_id] = probability
+        with trace_span(
+            "rewrite.plan",
+            kind="restricted" if self.restricted else "unrestricted",
+            candidates=len(candidates),
+        ) as sp:
+            zero = backend.zero
+            if self.restricted:
+                if session is None:
+                    session, _, _ = self._caches_for(extension)
+                probabilities = self._restricted_batch(
+                    extension, candidates, session, backend
+                )
+            else:
+                probabilities = [
+                    self.fr(extension, node_id) for node_id in candidates
+                ]
+            for node_id, probability in zip(candidates, probabilities):
+                if probability > zero:
+                    answer[node_id] = probability
+            if sp:
+                sp.set("answers", len(answer))
         return answer
 
     def _restricted_batch(
@@ -459,27 +472,34 @@ class TPRewritePlan:
                 else None
             )
         evaluable = [n for n in candidates if holder_of[n] is not None]
-        numerators = dict(
-            zip(
-                evaluable,
-                session.boolean_many(
-                    [
-                        (self.qr, {self.qr.out: extension.occurrence_copies(n)})
-                        for n in evaluable
-                    ]
-                ),
+        with trace_span("rewrite.t1.numerators", items=len(evaluable)):
+            numerators = dict(
+                zip(
+                    evaluable,
+                    session.boolean_many(
+                        [
+                            (
+                                self.qr,
+                                {self.qr.out: extension.occurrence_copies(n)},
+                            )
+                            for n in evaluable
+                        ]
+                    ),
+                )
             )
-        )
-        probabilities = []
-        for node_id in candidates:
-            n_a = holder_of[node_id]
-            if n_a is None:
-                probabilities.append(backend.zero)
-                continue
-            denominator = self._denominator(extension, n_a, backend)
-            probabilities.append(
-                numerators[node_id] / denominator if denominator else backend.zero
-            )
+        with trace_span("rewrite.t1.denominators", candidates=len(candidates)):
+            probabilities = []
+            for node_id in candidates:
+                n_a = holder_of[node_id]
+                if n_a is None:
+                    probabilities.append(backend.zero)
+                    continue
+                denominator = self._denominator(extension, n_a, backend)
+                probabilities.append(
+                    numerators[node_id] / denominator
+                    if denominator
+                    else backend.zero
+                )
         return probabilities
 
     def _candidates(self, extension: ProbabilisticViewExtension) -> list[int]:

@@ -49,12 +49,53 @@ support size times the subtree size, an estimate of the recomputation
 cost the entry saves — which cost-aware eviction policies
 (:class:`repro.store.memory.InMemoryStore`) use to decide what survives
 memory pressure.
+
+**The unified ``stats()`` schema.**  Every concrete store's
+:meth:`MemoStore.stats` returns the *same key set*, so tooling
+(``repro store stats``, benchmark reports, dashboards) never branches on
+the store kind:
+
+========================  ====================================================
+key                       meaning
+========================  ====================================================
+``hits`` / ``misses``     ``get`` probes answered / not answered
+``puts``                  entries written
+``evictions``             entries dropped under memory pressure
+``entries``               entries currently visible to ``get``
+``anchored_hits`` /       the anchored-key subset of the probe/put traffic
+``anchored_misses`` /
+``anchored_puts``
+``spine_recomputes`` /    spine-only mutations lived through, and entries
+``survived_entries``      cumulatively kept live across them
+``kind``                  ``"memory"`` / ``"sqlite"`` (implementation tag)
+``weight``                summed entry weights (``None`` when unknown)
+``anchored_entries``      entries under anchored keys (``None`` when unknown)
+``path``                  backing file (``None`` for purely in-memory stores)
+``degraded``              persistence lost, running memory-only
+``cached_entries``        entries resident in process memory
+``max_weight`` /          eviction caps (``None`` = uncapped / not
+``max_entries``           applicable)
+========================  ====================================================
+
+Values that a given implementation cannot know are ``None`` — never
+missing — and renderers should still tolerate older/foreign stats dicts
+via ``dict.get``.
+
+**Registry publication.**  Live stores are tracked in a weak set and a
+pull collector registered with the process-wide metrics registry
+(:mod:`repro.obs.registry`) aggregates their counters at read time as
+``repro_store_*`` series labelled by ``kind``.  The per-instance
+counters stay plain ints on the hot path; ``stats()`` and the registry
+are two views over the same numbers.
 """
 
 from __future__ import annotations
 
+import weakref
 from abc import ABC, abstractmethod
 from typing import Optional
+
+from ..obs.registry import Sample, get_registry
 
 __all__ = [
     "GATE_BLOCKED",
@@ -109,33 +150,52 @@ class MemoStore(ABC):
             stop matching).  Surfaced by ``repro store stats``.
     """
 
+    #: Implementation tag entering ``stats()["kind"]`` and the registry
+    #: ``kind`` label; concrete stores override it.
+    store_kind = "memory"
+
     def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.puts = 0
-        self.evictions = 0
-        self.anchored_hits = 0
-        self.anchored_misses = 0
-        self.anchored_puts = 0
-        self.spine_recomputes = 0
-        self.survived_entries = 0
+        # One mutable bag instead of nine attributes: the bag outlives
+        # the store (a finalizer retires it into the per-kind process
+        # totals), so registry counters stay monotone across instance
+        # garbage collection.  Hot-path cost is one dict item add.
+        self._counts = {field: 0 for field in COUNTER_FIELDS}
+        _LIVE_STORES.add(self)
+        weakref.finalize(
+            self, _retire_store_counts, self.store_kind, self._counts
+        )
+
+    hits = property(lambda self: self._counts["hits"])
+    misses = property(lambda self: self._counts["misses"])
+    puts = property(lambda self: self._counts["puts"])
+    evictions = property(lambda self: self._counts["evictions"])
+    anchored_hits = property(lambda self: self._counts["anchored_hits"])
+    anchored_misses = property(lambda self: self._counts["anchored_misses"])
+    anchored_puts = property(lambda self: self._counts["anchored_puts"])
+    spine_recomputes = property(lambda self: self._counts["spine_recomputes"])
+    survived_entries = property(lambda self: self._counts["survived_entries"])
 
     def _count_get(self, key: StoreKey, hit: bool) -> None:
         """Update the hit/miss counters for one ``get`` probe."""
+        counts = self._counts
         if hit:
-            self.hits += 1
+            counts["hits"] += 1
             if is_anchored_key(key):
-                self.anchored_hits += 1
+                counts["anchored_hits"] += 1
         else:
-            self.misses += 1
+            counts["misses"] += 1
             if is_anchored_key(key):
-                self.anchored_misses += 1
+                counts["anchored_misses"] += 1
 
     def _count_put(self, key: StoreKey) -> None:
         """Update the put counters for one ``put``."""
-        self.puts += 1
+        self._counts["puts"] += 1
         if is_anchored_key(key):
-            self.anchored_puts += 1
+            self._counts["anchored_puts"] += 1
+
+    def _count_eviction(self) -> None:
+        """Count one entry dropped under memory pressure."""
+        self._counts["evictions"] += 1
 
     def record_spine_recompute(self, survived: int) -> None:
         """Record one spine-only document mutation against this store.
@@ -146,8 +206,8 @@ class MemoStore(ABC):
         this from their spine refresh so ``repro store stats`` can show
         how much cached work churn preserved.
         """
-        self.spine_recomputes += 1
-        self.survived_entries += survived
+        self._counts["spine_recomputes"] += 1
+        self._counts["survived_entries"] += survived
 
     @abstractmethod
     def get(self, key: StoreKey) -> Optional[dict]:
@@ -175,7 +235,11 @@ class MemoStore(ABC):
         """Number of cached entries."""
 
     def stats(self) -> dict:
-        """Counters plus implementation-specific gauges."""
+        """Counters and gauges in the unified schema (module docstring).
+
+        Subclasses overwrite the gauges they can measure (``weight``,
+        ``anchored_entries``, ``path``, ...) but keep the key set.
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -187,6 +251,14 @@ class MemoStore(ABC):
             "anchored_puts": self.anchored_puts,
             "spine_recomputes": self.spine_recomputes,
             "survived_entries": self.survived_entries,
+            "kind": self.store_kind,
+            "weight": None,
+            "anchored_entries": None,
+            "path": None,
+            "degraded": False,
+            "cached_entries": len(self),
+            "max_weight": None,
+            "max_entries": None,
         }
 
     def flush(self) -> None:
@@ -195,3 +267,76 @@ class MemoStore(ABC):
     def close(self) -> None:
         """Flush and release resources; the store degrades to memory-only."""
         self.flush()
+
+
+#: Counter fields of the unified store instrumentation (one bag slot and
+#: one ``repro_store_<field>_total`` registry series each).
+COUNTER_FIELDS = (
+    "hits",
+    "misses",
+    "puts",
+    "evictions",
+    "anchored_hits",
+    "anchored_misses",
+    "anchored_puts",
+    "spine_recomputes",
+    "survived_entries",
+)
+
+_STORE_COUNTER_HELP = {
+    "hits": "memo store get probes answered",
+    "misses": "memo store get probes missed",
+    "puts": "memo store entries written",
+    "evictions": "memo store entries evicted under pressure",
+    "anchored_hits": "anchored-key subset of the store hits",
+    "anchored_misses": "anchored-key subset of the store misses",
+    "anchored_puts": "anchored-key subset of the store puts",
+    "spine_recomputes": "spine-only document mutations recorded against stores",
+    "survived_entries": "entries kept live across spine-only mutations",
+}
+
+#: Live stores feeding the process registry via the pull collector below.
+_LIVE_STORES: "weakref.WeakSet[MemoStore]" = weakref.WeakSet()
+
+#: Counters of garbage-collected stores, by kind — keeps the registry
+#: series monotone across instance lifetimes.
+_RETIRED_COUNTS: dict = {}
+
+
+def _retire_store_counts(kind: str, counts: dict) -> None:
+    totals = _RETIRED_COUNTS.setdefault(kind, dict.fromkeys(COUNTER_FIELDS, 0))
+    for field in COUNTER_FIELDS:
+        totals[field] += counts[field]
+
+
+def _collect_store_samples():
+    """Live + retired store counters by kind (registry collector)."""
+    by_kind: dict[str, dict] = {
+        kind: dict(totals) for kind, totals in _RETIRED_COUNTS.items()
+    }
+    entries: dict[str, int] = {}
+    for store in list(_LIVE_STORES):
+        totals = by_kind.setdefault(
+            store.store_kind, dict.fromkeys(COUNTER_FIELDS, 0)
+        )
+        for field in COUNTER_FIELDS:
+            totals[field] += store._counts[field]
+        try:
+            count = len(store)
+        except Exception:  # reading metrics must never break on a store
+            count = 0
+        entries[store.store_kind] = entries.get(store.store_kind, 0) + count
+    for kind, totals in sorted(by_kind.items()):
+        labels = (("kind", kind),)
+        for field in COUNTER_FIELDS:
+            yield Sample(
+                f"repro_store_{field}_total", "counter", labels,
+                totals[field], _STORE_COUNTER_HELP[field],
+            )
+        yield Sample(
+            "repro_store_entries", "gauge", labels, entries.get(kind, 0),
+            "entries live across the process's memo stores",
+        )
+
+
+get_registry().register_collector(_collect_store_samples)

@@ -127,7 +127,7 @@ class InMemoryStore(MemoStore):
             del self._entries[key]
             self._weight -= entry[_WEIGHT]
             self._clock = priority
-            self.evictions += 1
+            self._count_eviction()
 
     def clear(self) -> None:
         self._entries.clear()
@@ -141,7 +141,6 @@ class InMemoryStore(MemoStore):
     def stats(self) -> dict:
         gauges = super().stats()
         gauges.update(
-            kind="memory",
             weight=self._weight,
             max_weight=self.max_weight,
             max_entries=self.max_entries,

@@ -49,11 +49,26 @@ import json
 import sqlite3
 import warnings
 from fractions import Fraction
+from time import perf_counter
 from typing import Optional, Union
 
+from ..obs.registry import get_registry
+from ..obs.trace import get_tracer
 from .api import MemoStore, StoreKey
 
 __all__ = ["SqliteStore", "open_store"]
+
+# Probe/put latency histograms, observed only while tracing is enabled
+# (two perf_counter calls would double the cost of a preloaded-cache
+# get on the default no-telemetry path).
+_PROBE_SECONDS = get_registry().histogram(
+    "repro_store_sqlite_probe_seconds",
+    help="SqliteStore.get latency (recorded while tracing is enabled)",
+)
+_PUT_SECONDS = get_registry().histogram(
+    "repro_store_sqlite_put_seconds",
+    help="SqliteStore.put latency (recorded while tracing is enabled)",
+)
 
 _PAYLOAD_VERSION = 1
 _ANCHOR_VERSION = "1"
@@ -236,7 +251,18 @@ class SqliteStore(MemoStore):
     # ------------------------------------------------------------------
     # MemoStore interface
     # ------------------------------------------------------------------
+    store_kind = "sqlite"
+
     def get(self, key: StoreKey) -> Optional[dict]:
+        if get_tracer().enabled:
+            start = perf_counter()
+            try:
+                return self._get(key)
+            finally:
+                _PROBE_SECONDS.observe(perf_counter() - start)
+        return self._get(key)
+
+    def _get(self, key: StoreKey) -> Optional[dict]:
         if self.preload and not self._complete:
             self._preload()
         cached = self._cache.get(key)
@@ -273,6 +299,15 @@ class SqliteStore(MemoStore):
         return None
 
     def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
+        if get_tracer().enabled:
+            start = perf_counter()
+            try:
+                return self._put(key, distribution, weight)
+            finally:
+                _PUT_SECONDS.observe(perf_counter() - start)
+        return self._put(key, distribution, weight)
+
+    def _put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
         if self.preload and not self._complete:
             self._preload()
         self._count_put(key)
@@ -347,7 +382,6 @@ class SqliteStore(MemoStore):
             if row is not None:
                 anchored_entries = row.fetchone()[0]
         gauges.update(
-            kind="sqlite",
             path=self.path,
             degraded=self.degraded,
             cached_entries=len(self._cache),

@@ -154,3 +154,66 @@ class TestStoreCommands:
     def test_store_stats_missing_file(self, tmp_path, capsys):
         assert main(["store", "stats", str(tmp_path / "absent.db")]) == 1
         assert "no store file" in capsys.readouterr().err
+
+
+class TestObservabilityCommands:
+    QUERY = "IT-personnel//person/bonus[laptop]"
+
+    def test_eval_trace_writes_jsonl(self, doc_file, tmp_path, capsys):
+        from repro.obs import read_spans_jsonl, tracing_enabled
+
+        trace_path = str(tmp_path / "trace.jsonl")
+        code = main([
+            "eval", doc_file, self.QUERY, "IT-personnel/zzz",
+            "--batch", "--trace", trace_path,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "node 5" in out  # tracing never changes the answer
+        assert "root spans written to" in out
+        assert not tracing_enabled()  # switch restored after the run
+        spans = read_spans_jsonl(trace_path)
+        assert spans, "expected at least one root span"
+        names = set()
+        stack = list(spans)
+        while stack:
+            entry = stack.pop()
+            names.add(entry["name"])
+            stack.extend(entry.get("children", ()))
+        assert "session.answer_many" in names
+        assert "session.traversal" in names  # nested under the root
+
+    def test_eval_profile_renders_attribution(self, doc_file, capsys):
+        code = main(["eval", doc_file, self.QUERY, "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"query {self.QUERY}:" in out
+        assert "attributed" in out
+
+    def test_eval_profile_batch(self, doc_file, capsys):
+        code = main([
+            "eval", doc_file, self.QUERY, "IT-personnel/zzz",
+            "--batch", "--profile",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2-query batch" in out
+
+    def test_stats_table_after_workload(self, doc_file, capsys):
+        code = main(["stats", doc_file, self.QUERY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro_session_queries_total" in out
+        assert "repro_store_hits_total{kind=memory}" in out
+
+    def test_stats_prometheus_format(self, doc_file, capsys):
+        code = main(["stats", doc_file, self.QUERY, "--format", "prometheus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_session_queries_total counter" in out
+
+    def test_stats_bare_dumps_registry(self, capsys):
+        assert main(["stats"]) == 0
+        # nothing may have run yet in this process; the registry still
+        # renders (possibly with every counter at zero)
+        assert capsys.readouterr().out.strip()

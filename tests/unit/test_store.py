@@ -541,3 +541,80 @@ class TestAnchoredStoreBacked:
         assert stats["store"]["anchored_entries"] > 0
         cache.answer(paper.q_rbon())
         assert cache.stats()["anchored"]["store_hits"] > anchored["store_hits"]
+
+
+class TestUnifiedStatsSchema:
+    """Every store's ``stats()`` carries the same key set (ISSUE-8)."""
+
+    SCHEMA = {
+        "hits", "misses", "puts", "evictions", "entries",
+        "anchored_hits", "anchored_misses", "anchored_puts",
+        "spine_recomputes", "survived_entries",
+        "kind", "weight", "anchored_entries", "path", "degraded",
+        "cached_entries", "max_weight", "max_entries",
+    }
+
+    def test_memory_store_schema(self):
+        stats = InMemoryStore().stats()
+        assert set(stats) == self.SCHEMA
+        assert stats["kind"] == "memory"
+        assert stats["path"] is None
+        assert stats["weight"] == 0  # memory stores do know their weight
+
+    def test_sqlite_store_schema(self, tmp_path):
+        store = SqliteStore(tmp_path / "schema.db")
+        try:
+            stats = store.stats()
+        finally:
+            store.close()
+        assert set(stats) == self.SCHEMA
+        assert stats["kind"] == "sqlite"
+        assert stats["path"] is not None
+        assert stats["degraded"] is False
+
+    def test_counters_flow_into_the_unified_keys(self):
+        store = InMemoryStore()
+        store.get(("s", "f", None, None, "exact"))       # miss
+        store.put(("s", "f", None, None, "exact"), {frozenset(): 1})
+        store.get(("s", "f", None, None, "exact"))       # hit
+        stats = store.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["puts"] == 1
+        assert stats["entries"] == 1
+
+    def test_store_counters_publish_to_registry(self):
+        from repro.obs import get_registry
+
+        before = get_registry().snapshot()
+        store = InMemoryStore()
+        key = ("s", "f", None, None, "exact")
+        store.get(key)
+        store.put(key, {frozenset(): 1})
+        store.get(key)
+        after = get_registry().snapshot()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("repro_store_hits_total{kind=memory}") == 1
+        assert delta("repro_store_misses_total{kind=memory}") == 1
+        assert delta("repro_store_puts_total{kind=memory}") == 1
+
+    def test_retired_store_counters_stay_monotone(self):
+        """GC'ing a store must not make registry counters go backwards."""
+        import gc
+
+        from repro.obs import get_registry
+
+        before = get_registry().snapshot().get(
+            "repro_store_puts_total{kind=memory}", 0
+        )
+        store = InMemoryStore()
+        store.put(("s", "f", None, None, "exact"), {frozenset(): 1})
+        del store
+        gc.collect()
+        after = get_registry().snapshot().get(
+            "repro_store_puts_total{kind=memory}", 0
+        )
+        assert after == before + 1
