@@ -20,7 +20,18 @@ Two workloads, each timed under two configurations against a shared
   (inclusion-exclusion over overlapping holders, α-patterns with
   engine-anchored ``Id(·)`` pins);
 
-and per configuration:
+plus a **cross-twin extension** section (ISSUE 9): Theorem-1 plans
+evaluated over extensions of a document and of its Id-disjoint
+isomorphic twin, in two arms — ``marker`` (the paper's literal §3.1
+construction with ``Id(n)`` marker children, rebuilt locally since the
+production builders no longer plant markers) and ``id_free`` (the
+provenance-layer extensions).  Marker labels bake original node Ids
+into the tree, so the marker twin's extension is digest-distinct and
+its first pass runs cold; Id-free twin extensions are digest-identical
+and the second twin's *first, cold* pass must already hit the shared
+store (``twin_cold_store_hits > 0`` is asserted).
+
+Per configuration of the two main workloads:
 
 * ``node_keyed`` — ``anchored_store=False``: anchored entries go to
   session-local memos; a *fresh* plan over the warm shared store
@@ -62,11 +73,13 @@ from common import best_of as _best_of, write_report
 
 from repro.prob import QuerySession, query_answer
 from repro.pxml import ind, mux, ordinary, pdoc
-from repro.pxml.pdocument import PDocument
+from repro.pxml.pdocument import PDocument, PNode, PNodeKind
 from repro.rewrite import probabilistic_tp_plan
 from repro.store import InMemoryStore
 from repro.tp import parse_pattern
-from repro.views import View, probabilistic_extension
+from repro.views import ProvenanceTable, View, probabilistic_extension
+from repro.views.extension import ProbabilisticViewExtension
+from repro.views.view import _marker_label
 from repro.workloads.synthetic import (
     batch_workload,
     isomorphic_twin,
@@ -175,6 +188,109 @@ def twin_cold_anchored_hits(persons: int = 6) -> int:
     return store.anchored_hits - before
 
 
+def _legacy_marker_extension(p: PDocument, view: View) -> ProbabilisticViewExtension:
+    """The pre-ISSUE-9 §3.1 construction: ``Id(n)`` markers in the tree.
+
+    Rebuilt locally for the benchmark's ``marker`` arm — the production
+    builders are Id-free and no longer plant markers.  The provenance
+    table is decoded back from the markers, so plan evaluation works
+    unchanged; only the document structure (and hence the digests)
+    differs.
+    """
+    answer = query_answer(p, view.pattern)
+    fresh = itertools.count(1)
+    root = PNode(0, PNodeKind.ORDINARY, view.doc_label)
+    bundle = PNode(next(fresh), PNodeKind.IND)
+    subtree_roots: dict[int, int] = {}
+
+    def copy_with_markers(source: PNode) -> PNode:
+        node = PNode(next(fresh), source.kind, source.label)
+        if source.is_ordinary:
+            node.add_child(
+                PNode(next(fresh), PNodeKind.ORDINARY, _marker_label(source.node_id))
+            )
+        for child in source.children:
+            probability = (
+                source.probabilities[child.node_id]
+                if source.probabilities is not None
+                else None
+            )
+            node.add_child(copy_with_markers(child), probability)
+        return node
+
+    for selected in sorted(answer):
+        sub = copy_with_markers(p.node(selected))
+        bundle.add_child(sub, answer[selected])
+        subtree_roots[selected] = sub.node_id
+    if subtree_roots:
+        root.add_child(bundle)
+    pdocument = PDocument(root)
+    return ProbabilisticViewExtension(
+        view=view,
+        pdocument=pdocument,
+        selection=dict(answer),
+        subtree_roots=subtree_roots,
+        provenance=ProvenanceTable.from_markers(pdocument),
+    )
+
+
+def twin_extension_measure(persons: int, repeats: int = 1) -> dict:
+    """Theorem-1 plans over a document's extension and its twin's, per arm.
+
+    Each arm shares one store between both extensions.  ``twin_cold_s``
+    times the twin extension's *first* evaluation; the Id-free arm's
+    extensions are digest-identical, so that pass probes the entries the
+    first extension warmed (``twin_cold_store_hits``), while the marker
+    arm's digests differ (marker labels name concrete original Ids) and
+    it recomputes everything.
+    """
+    p1 = personnel_pdocument(persons=persons, projects=3, seed=persons)
+    p2 = isomorphic_twin(p1, _TWIN_OFFSET)
+    q = personnel_query("project0")
+    view = personnel_views()[0]
+    expected = query_answer(p1, q)
+    row = {"persons": persons, "answers": len(expected)}
+    for arm, build in (
+        ("marker", _legacy_marker_extension),
+        ("id_free", probabilistic_extension),
+    ):
+        store = InMemoryStore()
+        plan = probabilistic_tp_plan(q, view, store=store)
+        assert plan is not None
+        ext1, ext2 = build(p1, view), build(p2, view)
+        start = time.perf_counter()
+        first = plan.evaluate(ext1)
+        cold = time.perf_counter() - start
+        assert first == expected
+        before = store.stats()
+        before_hits = before["hits"]  # anchored_hits is a subset of hits
+        before_misses = before["misses"]
+        start = time.perf_counter()
+        second = plan.evaluate(ext2)
+        twin_cold = time.perf_counter() - start
+        assert second == {
+            node_id + _TWIN_OFFSET: probability
+            for node_id, probability in expected.items()
+        }
+        after = store.stats()
+        row[arm] = {
+            "extension_size": ext1.pdocument.size(),
+            "cold_s": cold,
+            "twin_cold_s": twin_cold,
+            # Hits high in the tree short-circuit whole-subtree descents,
+            # so the decisive cross-twin column is the *miss* count: the
+            # digest-identical id_free twin barely misses, while the
+            # marker twin (digest-distinct) recomputes cold.
+            "twin_cold_store_hits": after["hits"] - before_hits,
+            "twin_cold_store_misses": after["misses"] - before_misses,
+            "warm_s": _best_of(repeats, plan.evaluate, ext2),
+        }
+    row["twin_cold_speedup"] = (
+        row["marker"]["twin_cold_s"] / row["id_free"]["twin_cold_s"]
+    )
+    return row
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark harness
 # ----------------------------------------------------------------------
@@ -201,6 +317,25 @@ def test_twin_document_hits_anchored_entries_cold(report):
     assert hits > 0
     report.append(
         f"anchored twins: {hits} anchor-position hits on the first cold pass"
+    )
+
+
+def test_twin_extension_cold_pass_hits_store(report):
+    # ISSUE-9: Id-free extensions of isomorphic twins share the store on
+    # the very first pass; the marker arm shows what that replaced.
+    row = twin_extension_measure(persons=6)
+    assert row["id_free"]["twin_cold_store_hits"] > 0
+    # Hits alone mislead (a high hit short-circuits a whole descent, so
+    # the marker arm's deep self-hits inflate its count): the decisive
+    # column is misses — the digest-identical twin barely recomputes.
+    assert (
+        row["id_free"]["twin_cold_store_misses"]
+        < row["marker"]["twin_cold_store_misses"]
+    )
+    report.append(
+        "twin extensions: id_free cold pass "
+        f"{row['id_free']['twin_cold_store_misses']} store misses vs "
+        f"{row['marker']['twin_cold_store_misses']} with markers"
     )
 
 
@@ -306,6 +441,15 @@ def run(sizes: list[int], repeats: int = 3) -> dict:
         "repeats": repeats,
         "twin_cold_anchored_hits": twin_cold_anchored_hits(),
         "results": workloads,
+        "cross_twin_extension": {
+            "description": "Theorem-1 plans over extensions of a document "
+            "and its Id-disjoint isomorphic twin, one shared store per "
+            "arm: marker (legacy §3.1 Id(n) children) vs id_free "
+            "(provenance-layer extensions, digest-identical across twins)",
+            "results": [
+                twin_extension_measure(persons, repeats) for persons in sizes
+            ],
+        },
     }
     # Acceptance summary across workloads at the largest size: the
     # resident-session anchored warm path, array vs fast (the weakest
@@ -370,6 +514,20 @@ def main(argv: list[str] | None = None) -> int:
     if report["twin_cold_anchored_hits"] <= 0:
         print("FAIL: isomorphic twin did not hit anchored entries cold",
               file=sys.stderr)
+        exit_code = 1
+    twin_rows = report["cross_twin_extension"]["results"]
+    largest = twin_rows[-1]
+    print(
+        f"twin extensions persons={largest['persons']}: id_free cold pass "
+        f"{largest['id_free']['twin_cold_store_hits']} hits / "
+        f"{largest['id_free']['twin_cold_store_misses']} misses "
+        f"(marker arm: {largest['marker']['twin_cold_store_hits']} / "
+        f"{largest['marker']['twin_cold_store_misses']}), "
+        f"twin cold ×{largest['twin_cold_speedup']:.1f}"
+    )
+    if any(row["id_free"]["twin_cold_store_hits"] <= 0 for row in twin_rows):
+        print("FAIL: Id-free twin extension did not hit the store on its "
+              "first cold pass", file=sys.stderr)
         exit_code = 1
     return exit_code
 

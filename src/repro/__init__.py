@@ -18,7 +18,8 @@ Tractability", VLDB 2012 (PVLDB 5(11):1148-1159):
   evaluations cached content-addressed — by structural digest and
   goal-table fingerprint — with cost-aware LRU eviction in memory and a
   SQLite tier that survives process restarts;
-* view extensions with persistent-identity markers;
+* Id-free view extensions with a provenance side table (original ↔ copy
+  Ids and canonical rank paths beside the tree, no marker nodes);
 * probabilistic condition-independence (c-independence);
 * ``TPrewrite`` — single-view probabilistic rewritings (restricted and
   unrestricted, Theorems 1-2);
@@ -108,6 +109,7 @@ from .prob import (
     intersection_answer,
 )
 from .views import (
+    ProvenanceTable,
     View,
     probabilistic_extension,
     deterministic_extension,
@@ -141,8 +143,8 @@ __all__ = [
     "EvaluationEngine", "QuerySession",
     "query_answer", "node_probability", "boolean_probability",
     "intersection_answer",
-    "View", "probabilistic_extension", "deterministic_extension",
-    "anchor_via_marker",
+    "View", "ProvenanceTable", "probabilistic_extension",
+    "deterministic_extension", "anchor_via_marker",
     "c_independent", "tp_rewrite", "probabilistic_tp_plan",
     "theorem3_plan", "tpi_rewrite",
     "__version__",

@@ -93,9 +93,10 @@ AnchorsLike = Mapping[AnchorKey, AnchorTarget]
 
 A target is a single node Id, or an iterable of Ids when several document
 nodes are admissible images (e.g. the occurrence copies of one original
-node inside a view extension — the engine-level form of the paper's
-``Id(n)``-marker device).  An empty iterable pins the node to nothing:
-the pattern cannot match.
+node inside a view extension, read off its provenance table — the
+engine-level form of the paper's ``Id(n)``-marker device, which Id-free
+extensions realize without marker nodes).  An empty iterable pins the
+node to nothing: the pattern cannot match.
 
 Keys may be, in order of preference:
 

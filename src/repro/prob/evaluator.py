@@ -15,8 +15,8 @@ keeps the original surface:
 
 The DP itself (goals ``D(u)``/``A(u)``, union-convolution at ordinary and
 ``ind`` nodes, probability mixtures at ``mux`` nodes, anchors as the
-``Id(n)``-marker technique of §3.1) is documented in
-:mod:`repro.prob.engine`.
+§3.1 identity device — provenance anchor sets over Id-free extensions)
+is documented in :mod:`repro.prob.engine`.
 """
 
 from __future__ import annotations

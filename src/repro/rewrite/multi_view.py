@@ -37,7 +37,6 @@ from .decomposition import decompose_views
 from .plans import TPIRewritePlan
 from .single_view import probabilistic_tp_plan
 from ..tp.embedding import evaluate as evaluate_deterministic
-from ..views.view import parse_marker_label
 
 __all__ = [
     "theorem3_plan",
@@ -375,10 +374,6 @@ def _member_candidates(member: _PlanMember, extensions: Extensions) -> set[int]:
     qr = ops.compensation(head, ops.suffix(member.unfolded, member.base.pattern.main_branch_length()))
     world = extension.pdocument.max_world()
     selected = evaluate_deterministic(qr, world)
-    originals: set[int] = set()
-    for fresh_id in selected:
-        for child in world.node(fresh_id).children:
-            original = parse_marker_label(child.label)
-            if original is not None:
-                originals.add(original)
-    return originals
+    # Selected copies resolve to original Ids through the provenance
+    # table (the marker-free form of the paper's Id(n) readout).
+    return extension.provenance.originals_of(selected)

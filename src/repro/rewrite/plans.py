@@ -7,7 +7,8 @@ rewriting.  Two plan shapes exist:
 * :class:`TPRewritePlan` — single-view plans built by ``TPrewrite`` (§4),
   using compensation.  ``f_r`` is Theorem 1's quotient in the restricted
   case and Theorem 2's inclusion-exclusion over the events ``e_i`` (with
-  α-patterns and the ``Id(n)`` markers) in the unrestricted case.
+  α-patterns and the paper's identity device, realized through
+  provenance anchor sets) in the unrestricted case.
 * :class:`TPIRewritePlan` — multi-view intersection plans (§5).  ``f_r`` is
   a product of per-view result probabilities raised to exact rational
   exponents; Theorem 3's formula and the solutions of the ``S(q, V)``
@@ -22,10 +23,12 @@ one cross-query subtree memo instead of spawning a fresh exact evaluator
 per candidate node.
 
 The paper's ``Id(n)``-marker device is realized through *engine anchors*
-rather than marker pattern nodes: pinning a pattern node to the set of
-``n``'s occurrence copies (:meth:`repro.views.extension.
-ProbabilisticViewExtension.occurrence_copies`) is equivalent to
-requiring an ``Id(n)`` marker child, but keeps the goal table identical
+over the extension's provenance table rather than marker pattern nodes:
+pinning a pattern node to the set of ``n``'s occurrence copies
+(:meth:`repro.views.extension.ProbabilisticViewExtension.
+occurrence_copies`, served by :class:`repro.views.provenance.
+ProvenanceTable`) is equivalent to requiring a legacy marker child
+(extensions are Id-free and contain none), but keeps the goal table identical
 across candidates — anchor values are abstracted out of the memo
 fingerprints and re-bound to canonical anchor *positions*
 (:mod:`repro.store.keys`), so the per-holder numerators, denominators
@@ -50,7 +53,7 @@ from ..tp import ops
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
 from ..views.extension import ProbabilisticViewExtension
-from ..views.view import View, parse_marker_label
+from ..views.view import View
 from .linsys import exact_power
 
 __all__ = ["TPRewritePlan", "TPIRewritePlan", "ViewOracle"]
@@ -503,16 +506,15 @@ class TPRewritePlan:
         return probabilities
 
     def _candidates(self, extension: ProbabilisticViewExtension) -> list[int]:
-        """Original node Ids that the deterministic part q_r may select."""
+        """Original node Ids that the deterministic part q_r may select.
+
+        The selected extension nodes (copies) are resolved back to
+        original Ids through the extension's provenance table — the
+        marker-free form of the paper's ``Id(n)`` readout.
+        """
         world = extension.pdocument.max_world()
         selected = evaluate_deterministic(self.qr, world)
-        originals: set[int] = set()
-        for fresh_id in selected:
-            for child in world.node(fresh_id).children:
-                original = parse_marker_label(child.label)
-                if original is not None:
-                    originals.add(original)
-        return sorted(originals)
+        return sorted(extension.provenance.originals_of(selected))
 
     def describe(self) -> str:
         kind = "restricted" if self.restricted else "unrestricted"

@@ -78,8 +78,11 @@ def has_embedding(
     """True iff ``q`` embeds into ``d`` with the root mapped to ``root(d)``.
 
     ``anchors`` optionally pins pattern nodes to specific document node Ids
-    (``{id(pattern_node): doc_node_id}``), which is how ``out(q) ↦ n`` and the
-    ``Id(n)``-marker technique of §3.1 are realized.
+    (``{id(pattern_node): doc_node_id}``), which is how ``out(q) ↦ n`` and
+    the §3.1 identity device are realized (provenance anchor sets — see
+    :mod:`repro.views.provenance`).  Matching itself is label-agnostic:
+    no label shape is treated specially; legacy marker labels are decoded
+    only by :func:`repro.views.view.parse_marker_label`.
     """
     return _Matcher(d, anchors).matches(q.root, d.root)
 

@@ -1,6 +1,13 @@
-"""Views and their (deterministic / probabilistic) extensions (paper §3, §3.1)."""
+"""Views and their (deterministic / probabilistic) extensions (paper §3, §3.1).
+
+Extensions are **Id-free**: original node identity lives in a provenance
+side table (:mod:`repro.views.provenance`), not in ``Id(n)`` marker
+nodes; ``marker_label`` / ``anchor_via_marker`` survive only as
+deprecated legacy shims.
+"""
 
 from .view import View, doc_label, marker_label, parse_marker_label
+from .provenance import ProvenanceTable
 from .extension import (
     DeterministicViewExtension,
     ProbabilisticViewExtension,
@@ -14,6 +21,7 @@ __all__ = [
     "doc_label",
     "marker_label",
     "parse_marker_label",
+    "ProvenanceTable",
     "DeterministicViewExtension",
     "ProbabilisticViewExtension",
     "deterministic_extension",

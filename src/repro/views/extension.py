@@ -1,24 +1,31 @@
 """View extensions: bundling a view's results into one (p-)document (§3, §3.1).
 
-Probabilistic extensions ``P̂_v`` are built exactly as in the paper: a root
-labeled ``doc(v)``, one ``ind`` child, and below it — for every pair
+Probabilistic extensions ``P̂_v`` follow the paper's shape: a root labeled
+``doc(v)``, one ``ind`` child, and below it — for every pair
 ``(n, p) ∈ v(P̂)`` — a copy of the p-subdocument ``P̂_n`` attached with
-probability ``p``.  Every copied ordinary node additionally receives a fresh
-child labeled ``Id(n)`` exposing its original identity (the paper's
-post-processing step, needed to locate the multiple occurrences of a node in
-the extension).
+probability ``p``.  The paper's post-processing step (a fresh ``Id(n)``
+marker child under every copy, needed to locate the multiple occurrences
+of a node in the extension) is replaced by an **Id-free provenance
+layer**: each extension carries a :class:`repro.views.provenance.
+ProvenanceTable` mapping original node Ids to copy Ids — and to
+isomorphism-invariant canonical rank paths — *beside* the tree.  The
+extension document itself contains only copied structure, so extensions
+of isomorphic base documents are digest-identical and share
+content-addressed memo-store entries with each other and with the base
+document's own subtrees.
 
-Everything a rewriting's probability function ``f_r`` may legitimately use is
-available from the :class:`ProbabilisticViewExtension` object alone: the
+Everything a rewriting's probability function ``f_r`` may legitimately use
+is available from the :class:`ProbabilisticViewExtension` object alone: the
 extension p-document, the per-subtree selection probabilities (readable off
-the ``ind`` edges), and occurrence/containment information derived from the
-markers.  ``f_r`` implementations in :mod:`repro.rewrite` receive only this
-object — never the original document.
+the ``ind`` edges), and occurrence/containment information served by the
+provenance table.  ``f_r`` implementations in :mod:`repro.rewrite` receive
+only this object — never the original document.
 """
 
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Optional
@@ -31,7 +38,8 @@ from ..pxml.pdocument import PDocument, PNode, PNodeKind
 from ..tp.embedding import evaluate as evaluate_deterministic
 from ..tp.pattern import Axis, PatternNode, TreePattern
 from ..xml.document import DocNode, Document
-from .view import View, marker_label
+from .provenance import ProvenanceTable
+from .view import View, _marker_label
 
 __all__ = [
     "DeterministicViewExtension",
@@ -50,6 +58,8 @@ class DeterministicViewExtension:
     document: Document
     #: original selected node Id -> Id of its copy directly under doc(v)
     subtree_roots: dict[int, int]
+    #: copy provenance (original ↔ copy Ids); markers are never planted.
+    provenance: ProvenanceTable = field(default_factory=ProvenanceTable)
 
 
 @dataclass
@@ -63,22 +73,32 @@ class ProbabilisticViewExtension:
     #: original node Id n -> Id (in P̂_v) of the copy of n that roots its
     #: own result subtree.
     subtree_roots: dict[int, int]
-    #: original node Id n -> set of selected Ids m such that the result
-    #: subtree of m contains an occurrence of n (derived from markers).
-    occurrences: dict[int, set[int]]
-    #: original node Id n -> Ids (in P̂_v) of *all* copies of n, across
-    #: every result subtree.  The engine-anchor form of the paper's
-    #: ``Id(n)``-marker device: pinning a pattern node to this Id set is
+    #: the Id-free replacement of the paper's ``Id(n)`` markers: copy ↔
+    #: original maps, per-copy holders and canonical rank paths, all
+    #: outside the tree (:mod:`repro.views.provenance`).  Pinning a
+    #: pattern node to a copy-Id set (:meth:`occurrence_copies`) is
     #: equivalent to requiring an ``Id(n)`` marker child, and it keeps
     #: per-candidate goal tables identical so anchored evaluations share
     #: canonical store keys.
-    copies: dict[int, list[int]] = field(default_factory=dict)
+    provenance: ProvenanceTable = field(default_factory=ProvenanceTable)
     #: lazily built cache of result p-subdocuments; rewriting plans request
     #: the same holder's subdocument once per candidate below it, and each
     #: build is a deep copy.
     _subdocuments: dict = field(
         default_factory=dict, init=False, repr=False, compare=False
     )
+
+    @property
+    def occurrences(self) -> dict[int, set[int]]:
+        """original node Id n -> set of selected Ids m such that the result
+        subtree of m contains an occurrence of n (provenance-derived)."""
+        return self.provenance.occurrence_index
+
+    @property
+    def copies(self) -> dict[int, list[int]]:
+        """original node Id n -> Ids (in P̂_v) of *all* copies of n, across
+        every result subtree (provenance-derived)."""
+        return self.provenance.copy_index
 
     def selected_ids(self) -> list[int]:
         return sorted(self.selection)
@@ -104,48 +124,51 @@ class ProbabilisticViewExtension:
         the nodes of ``within`` (a :meth:`result_subdocument`, which
         preserves extension Ids).  Empty when the node was never copied —
         a pattern anchored to the empty set cannot match, exactly like a
-        marker pattern with no ``Id(n)`` node in the document."""
-        ids = self.copies.get(original_id, ())
+        legacy marker pattern with no ``Id(n)`` node in the document."""
+        ids = self.provenance.copies_of(original_id)
         if within is not None:
             return tuple(cid for cid in ids if within.has_node(cid))
-        return tuple(ids)
+        return ids
 
     def selected_ancestors_or_self(self, original_id: int) -> list[int]:
         """Selected nodes whose result subtree contains ``original_id``,
         ordered top-down (outermost ancestor first).
 
         This is exactly the list ``n_1, ..., n_a`` of §4 ("the
-        ancestor-or-self nodes of n that are selected by v"), recovered from
-        the extension itself via the markers.
+        ancestor-or-self nodes of n that are selected by v"), recovered
+        from the extension's provenance table.
         """
-        holders = self.occurrences.get(original_id, set())
+        occurrences = self.provenance.occurrence_index
+        holders = occurrences.get(original_id, set())
         # A selected node m1 is an ancestor-or-self of m2 iff m1's result
         # subtree contains an occurrence of m2; the topmost holder is thus
         # contained in the fewest holders (only itself).
         return sorted(
             holders,
-            key=lambda m: (len(self.occurrences.get(m, set()) & holders), m),
+            key=lambda m: (len(occurrences.get(m, set()) & holders), m),
         )
 
     def nodes_between(self, ancestor_id: int, descendant_id: int) -> int:
         """``s(i, j)``: the count of ordinary nodes from ``n_i`` down to
-        ``n_j`` inclusive, measured inside ``n_i``'s result subtree."""
-        sub = self.result_subdocument(ancestor_id)
-        marker = marker_label(descendant_id)
-        target = None
-        for node in sub.ordinary_nodes():
-            if node.label == marker:
-                target = node.parent
-                break
-        if target is None:
+        ``n_j`` inclusive, measured inside ``n_i``'s result subtree.
+
+        Provenance-derived: the unique copy of ``n_j`` inside ``n_i``'s
+        result subtree is looked up in the table and its ancestor chain
+        walked up to the subtree root — no marker scan.
+        """
+        copy_id = self.provenance.copy_within(ancestor_id, descendant_id)
+        if copy_id is None:
             raise KeyError(
                 f"node {descendant_id} does not occur below {ancestor_id}"
             )
+        stop = self.subtree_roots[ancestor_id]
         count = 0
-        current = target
+        current: Optional[PNode] = self.pdocument.node(copy_id)
         while current is not None:
             if current.is_ordinary:
                 count += 1
+            if current.node_id == stop:
+                break
             current = current.parent
         return count
 
@@ -154,22 +177,27 @@ class ProbabilisticViewExtension:
 # Construction
 # ----------------------------------------------------------------------
 def deterministic_extension(d: Document, view: View) -> DeterministicViewExtension:
-    """Build ``d_v`` (copy semantics: fresh Ids, identity via markers)."""
+    """Build ``d_v`` (copy semantics: fresh Ids, identity via provenance)."""
     fresh = itertools.count(1)
     root = DocNode(0, view.doc_label)
     subtree_roots: dict[int, int] = {}
+    provenance = ProvenanceTable()
     for selected in sorted(evaluate_deterministic(view.pattern, d)):
-        copy = _copy_doc_with_markers(d.node(selected), fresh)
+        copy = _copy_doc(d.node(selected), fresh, selected, provenance)
         root.add_child(copy)
         subtree_roots[selected] = copy.node_id
-    return DeterministicViewExtension(view, Document(root), subtree_roots)
+    extension = DeterministicViewExtension(
+        view, Document(root), subtree_roots, provenance
+    )
+    provenance.bind(extension.document)
+    return extension
 
 
-def _copy_doc_with_markers(source, fresh) -> DocNode:
+def _copy_doc(source, fresh, holder: int, provenance: ProvenanceTable) -> DocNode:
     copy = DocNode(next(fresh), source.label)
-    copy.add_child(DocNode(next(fresh), marker_label(source.node_id)))
+    provenance.record(source.node_id, copy.node_id, holder)
     for child in source.children:
-        copy.add_child(_copy_doc_with_markers(child, fresh))
+        copy.add_child(_copy_doc(child, fresh, holder, provenance))
     return copy
 
 
@@ -179,11 +207,18 @@ def probabilistic_extension(
     backend: BackendLike = "exact",
     session: Optional[QuerySession] = None,
 ) -> ProbabilisticViewExtension:
-    """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees + Id markers).
+    """Build ``P̂_v`` per §3.1 (ind-bundled result subtrees, Id-free).
 
     The view's selection probabilities are computed by the single-pass
     engine in the given numeric backend; with ``"fast"`` the extension's
     ind-edge probabilities are floats instead of exact Fractions.
+
+    Original identity is recorded in the returned extension's provenance
+    table rather than as ``Id(n)`` marker nodes, so every copied result
+    subtree is *structurally identical* to the base subtree it copies:
+    unchanged subtrees keep their base-document Merkle digests, and
+    extensions of isomorphic base documents share memo-store entries on
+    their first, cold evaluation.
 
     ``session`` may supply a caller-owned :class:`QuerySession` over ``p``
     (its backend then wins): materializing several views through one
@@ -202,38 +237,33 @@ def probabilistic_extension(
     root = PNode(0, PNodeKind.ORDINARY, view.doc_label)
     bundle = PNode(next(fresh), PNodeKind.IND)
     subtree_roots: dict[int, int] = {}
-    occurrences: dict[int, set[int]] = {}
-    copies: dict[int, list[int]] = {}
+    provenance = ProvenanceTable()
     for selected in sorted(answer):
-        copy = _copy_pnode_with_markers(
-            p.node(selected), fresh, selected, occurrences, copies
-        )
+        copy = _copy_pnode(p.node(selected), fresh, selected, provenance)
         bundle.add_child(copy, answer[selected])
         subtree_roots[selected] = copy.node_id
     if subtree_roots:
         root.add_child(bundle)
-    return ProbabilisticViewExtension(
+    extension = ProbabilisticViewExtension(
         view=view,
         pdocument=PDocument(root),
         selection=dict(answer),
         subtree_roots=subtree_roots,
-        occurrences=occurrences,
-        copies=copies,
+        provenance=provenance,
     )
+    provenance.bind(extension.pdocument)
+    return extension
 
 
-def _copy_pnode_with_markers(
+def _copy_pnode(
     source: PNode,
     fresh,
     holder: int,
-    occurrences: dict[int, set[int]],
-    copies: dict[int, list[int]],
+    provenance: ProvenanceTable,
 ) -> PNode:
     copy = PNode(next(fresh), source.kind, source.label)
     if source.is_ordinary:
-        occurrences.setdefault(source.node_id, set()).add(holder)
-        copies.setdefault(source.node_id, []).append(copy.node_id)
-        copy.add_child(PNode(next(fresh), PNodeKind.ORDINARY, marker_label(source.node_id)))
+        provenance.record(source.node_id, copy.node_id, holder)
     for child in source.children:
         probability = (
             source.probabilities[child.node_id]
@@ -241,23 +271,38 @@ def _copy_pnode_with_markers(
             else None
         )
         copy.add_child(
-            _copy_pnode_with_markers(child, fresh, holder, occurrences, copies),
+            _copy_pnode(child, fresh, holder, provenance),
             probability,
         )
     return copy
 
 
 # ----------------------------------------------------------------------
-# Marker anchoring
+# Legacy marker anchoring (deprecated)
 # ----------------------------------------------------------------------
 def anchor_via_marker(pattern: TreePattern, original_id: int) -> TreePattern:
-    """Pin a pattern's output node to an original node inside an extension.
+    """Pin a pattern's output node via a legacy ``Id(n)`` marker child.
 
-    Returns a copy of ``pattern`` whose output node gains a ``/``-child with
-    label ``Id(original_id)`` — the paper's device for identifying the
-    multiple occurrences of a node in view outputs.
+    **Deprecated.**  Id-free extensions contain no marker nodes, so the
+    returned pattern can only match legacy marker-bearing documents.  Pin
+    the node through engine anchor sets instead — e.g. ::
+
+        boolean_probability(
+            ext.pdocument, q, anchors={q.out: ext.occurrence_copies(n)}
+        )
+
+    which is equivalent on marker-bearing documents, works on Id-free
+    ones, and keeps the goal table candidate-independent so anchored
+    evaluations share canonical store keys.
     """
+    warnings.warn(
+        "anchor_via_marker is deprecated: Id-free extensions contain no "
+        "marker nodes — pin pattern nodes to provenance anchor sets "
+        "instead (anchors={q.out: extension.occurrence_copies(n)})",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     copied, mapping = pattern.copy_with_mapping()
     out = mapping[id(pattern.out)]
-    out.add_child(PatternNode(marker_label(original_id), Axis.CHILD))
+    out.add_child(PatternNode(_marker_label(original_id), Axis.CHILD))
     return copied

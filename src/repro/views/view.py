@@ -2,12 +2,26 @@
 
 A view is a TP query together with a name drawn from a set ``V`` disjoint
 from the label alphabet.  Its extension over a document is rooted at the
-special label ``doc(v)``; original node identity is exposed through fresh
-``Id(n)`` marker children (paper §3.1).
+special label ``doc(v)``; original node identity is exposed through a
+*provenance* side table (:mod:`repro.views.provenance`) instead of the
+paper's structural ``Id(n)`` marker children — extensions are Id-free,
+so isomorphic base documents yield digest-identical extensions that
+share content-addressed memo entries.
+
+**Legacy markers.**  The §3.1 marker scheme survives only as a decode
+shim: :func:`parse_marker_label` recognizes ``Id(n)`` labels in old
+marker-bearing documents (e.g. serialized extensions from pre-Id-free
+runs) and is the *single* place in the production code that knows the
+marker prefix.  :func:`marker_label` still produces the legacy label but
+is deprecated — new code pins pattern nodes to provenance anchor sets
+(:meth:`repro.views.extension.ProbabilisticViewExtension.
+occurrence_copies`, :meth:`repro.views.provenance.ProvenanceTable.
+anchor_positions`) instead of planting marker nodes.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from ..tp.pattern import TreePattern
@@ -20,13 +34,42 @@ def doc_label(view_name: str) -> str:
     return f"doc({view_name})"
 
 
-def marker_label(original_node_id: int) -> str:
-    """The fresh label ``Id(n)`` marking an occurrence of original node ``n``."""
+def _marker_label(original_node_id: int) -> str:
+    """The legacy ``Id(n)`` label (internal; no deprecation warning)."""
     return f"Id({original_node_id})"
 
 
+def marker_label(original_node_id: int) -> str:
+    """The legacy ``Id(n)`` marker label.  **Deprecated.**
+
+    Extensions are Id-free: identity lives in the provenance side table,
+    not in marker nodes.  Pin pattern nodes to provenance anchor sets
+    (``ProbabilisticViewExtension.occurrence_copies`` /
+    ``ProvenanceTable.anchor_positions``) instead of matching ``Id(n)``
+    labels; this helper remains only for writing legacy-format documents.
+    """
+    warnings.warn(
+        "marker_label is deprecated: extensions are Id-free — pin pattern "
+        "nodes to provenance anchor sets (ProbabilisticViewExtension."
+        "occurrence_copies / ProvenanceTable.anchor_positions) instead of "
+        "matching Id(n) marker nodes",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _marker_label(original_node_id)
+
+
 def parse_marker_label(label: str) -> int | None:
-    """Inverse of :func:`marker_label`; ``None`` if the label is not a marker."""
+    """Decode a legacy ``Id(n)`` marker label; ``None`` if not a marker.
+
+    The one sanctioned legacy shim: marker-bearing documents written by
+    pre-Id-free versions still *parse* through it (see
+    :meth:`repro.views.provenance.ProvenanceTable.from_markers`), and any
+    remaining marker-label sniffing must route through this function
+    rather than re-deriving the prefix.  Marker-bearing and Id-free
+    extensions have different structural digests by construction, so the
+    two generations can never silently share store entries.
+    """
     if label.startswith("Id(") and label.endswith(")"):
         try:
             return int(label[3:-1])

@@ -9,7 +9,7 @@ import random
 from repro.prob import boolean_probability, query_answer
 from repro.rewrite import fact1_holds, fact1_reformulation_holds
 from repro.tp import ops, parse_pattern
-from repro.views import View, anchor_via_marker, probabilistic_extension
+from repro.views import View, probabilistic_extension
 from repro.views.view import doc_label
 from repro.workloads import paper
 from repro.workloads.synthetic import prefix_views, random_pdocument
@@ -18,6 +18,13 @@ from repro.workloads.synthetic import prefix_views, random_pdocument
 def extension_pattern(view: View, q):
     head = parse_pattern(f"{doc_label(view.name)}/{view.pattern.out.label}")
     return ops.compensation(head, ops.suffix(q, view.pattern.main_branch_length()))
+
+
+def anchored_probability(ext, qr, n):
+    """``Pr(out(q_r) ↦ a copy of n)`` via provenance anchor sets."""
+    return boolean_probability(
+        ext.pdocument, qr, anchors={qr.out: ext.occurrence_copies(n)}
+    )
 
 
 class TestProposition1:
@@ -29,7 +36,7 @@ class TestProposition1:
         qr = extension_pattern(view, q)
         direct = query_answer(p_per, q)
         for n in (5, 7, 4, 24):
-            via_view = boolean_probability(ext.pdocument, anchor_via_marker(qr, n))
+            via_view = anchored_probability(ext, qr, n)
             assert (direct.get(n, 0) > 0) == (via_view > 0)
 
     def test_on_random_instances(self):
@@ -44,7 +51,7 @@ class TestProposition1:
             direct = query_answer(p, q)
             ext = probabilistic_extension(p, view)
             for n in [node.node_id for node in p.ordinary_nodes()]:
-                via = boolean_probability(ext.pdocument, anchor_via_marker(qr, n))
+                via = anchored_probability(ext, qr, n)
                 assert (direct.get(n, 0) > 0) == (via > 0)
                 checked += 1
         assert checked > 50

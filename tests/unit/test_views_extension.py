@@ -1,6 +1,12 @@
-"""Unit tests for view extensions (deterministic and probabilistic, §3.1)."""
+"""Unit tests for view extensions (deterministic and probabilistic, §3.1).
+
+Extensions are Id-free: original identity is recorded in a provenance
+side table, never as ``Id(n)`` marker nodes in the tree.
+"""
 
 from fractions import Fraction
+
+import pytest
 
 from repro.prob import boolean_probability
 from repro.tp import parse_pattern
@@ -16,13 +22,25 @@ from repro.views import (
 from repro.workloads import paper
 
 
-class TestMarkers:
+class TestLegacyMarkerShim:
     def test_roundtrip(self):
-        assert parse_marker_label(marker_label(42)) == 42
+        with pytest.deprecated_call():
+            label = marker_label(42)
+        assert parse_marker_label(label) == 42
 
     def test_non_marker(self):
         assert parse_marker_label("bonus") is None
         assert parse_marker_label("Id(x)") is None
+
+    def test_marker_label_warns_with_pointer(self):
+        with pytest.warns(DeprecationWarning, match="provenance anchor sets"):
+            marker_label(7)
+
+    def test_parse_is_a_silent_decode_shim(self, recwarn):
+        assert parse_marker_label("Id(3)") == 3
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 class TestDeterministicExtension:
@@ -30,10 +48,16 @@ class TestDeterministicExtension:
         ext = deterministic_extension(d_per, v1_bon)
         assert ext.document.name == "doc(v1BON)"
         assert list(ext.subtree_roots) == [5]
-        # The bonus subtree: laptop(44, 50) and pda(50), plus markers.
+        # The bonus subtree: laptop(44, 50) and pda(50) — and nothing else.
         labels = {n.label for n in ext.document.nodes()}
         assert {"laptop", "pda", "44", "50"} <= labels
-        assert marker_label(5) in labels
+        assert not any(parse_marker_label(label) is not None for label in labels)
+
+    def test_provenance_maps_selected_root(self, d_per, v1_bon):
+        ext = deterministic_extension(d_per, v1_bon)
+        assert ext.provenance.copies_of(5) == (ext.subtree_roots[5],)
+        assert ext.provenance.original_of(ext.subtree_roots[5]) == 5
+        assert ext.provenance.holder_of(ext.subtree_roots[5]) == 5
 
     def test_v2_has_two_subtrees(self, d_per, v2_bon):
         ext = deterministic_extension(d_per, v2_bon)
@@ -42,7 +66,7 @@ class TestDeterministicExtension:
     def test_fresh_ids_are_disjoint_from_original(self, d_per, v1_bon):
         ext = deterministic_extension(d_per, v1_bon)
         # Copy semantics: Ids are fresh (sequential), original identity only
-        # through markers.
+        # through the provenance table.
         assert ext.document.node(ext.subtree_roots[5]).label == "bonus"
 
     def test_queryable_through_doc_label(self, d_per, v1_bon):
@@ -62,11 +86,19 @@ class TestProbabilisticExtension:
         )
         assert boolean_probability(sub, parse_pattern("bonus/pda")) == 1
 
-    def test_markers_attached_everywhere(self, ext_v1):
+    def test_no_marker_nodes_anywhere(self, ext_v1):
+        labels = {
+            n.label for n in ext_v1.pdocument.ordinary_nodes() if n.label
+        }
+        assert not any(parse_marker_label(label) is not None for label in labels)
+
+    def test_provenance_covers_every_copied_original(self, ext_v1):
         sub = ext_v1.result_subdocument(5)
-        labels = {n.label for n in sub.ordinary_nodes()}
         for original in (5, 24, 22, 31, 25, 26, 32, 23):
-            assert marker_label(original) in labels
+            copies = ext_v1.occurrence_copies(original, within=sub)
+            assert len(copies) == 1
+            assert ext_v1.provenance.original_of(copies[0]) == original
+            assert ext_v1.provenance.holder_of(copies[0]) == 5
 
     def test_occurrences(self, ext_v2):
         assert ext_v2.occurrences[5] == {5}
@@ -86,6 +118,12 @@ class TestProbabilisticExtension:
         ext = probabilistic_extension(p, View("v", paper.example12_view()))
         assert ext.nodes_between(9, 11) == 3  # c2, b3, c3
         assert ext.nodes_between(9, 9) == 1
+
+    def test_nodes_between_missing_raises(self):
+        p = paper.p3_example12()
+        ext = probabilistic_extension(p, View("v", paper.example12_view()))
+        with pytest.raises(KeyError):
+            ext.nodes_between(11, 9)  # 9 does not occur below 11
 
     def test_example11_indistinguishability(self):
         """The central §4.1 fact: (P̂1)_v = (P̂2)_v although q differs."""
@@ -108,16 +146,53 @@ class TestProbabilisticExtension:
         assert ext.selection == {}
         assert ext.pdocument.size() == 1
 
+    def test_rank_paths_are_isomorphism_invariant(self, p_per, ext_v2):
+        from repro.workloads.synthetic import isomorphic_twin
 
-class TestAnchorViaMarker:
-    def test_anchored_pattern_has_marker_child(self):
-        q = parse_pattern("doc(v)/bonus")
-        anchored = anchor_via_marker(q, 5)
-        assert marker_label(5) in {n.label for n in anchored.predicate_nodes()}
+        v = ext_v2.view
+        twin = probabilistic_extension(isomorphic_twin(p_per, 1000), v)
+        for original in (5, 7, 24, 54):
+            assert ext_v2.provenance.anchor_positions(original) == (
+                twin.provenance.anchor_positions(original + 1000)
+            )
 
+
+class TestProvenanceAnchoring:
     def test_anchoring_pins_occurrence(self, ext_v2):
         qr = parse_pattern("doc(v2BON)/bonus[laptop]")
-        hit = boolean_probability(ext_v2.pdocument, anchor_via_marker(qr, 5))
-        miss = boolean_probability(ext_v2.pdocument, anchor_via_marker(qr, 7))
+        hit = boolean_probability(
+            ext_v2.pdocument, qr, anchors={qr.out: ext_v2.occurrence_copies(5)}
+        )
+        miss = boolean_probability(
+            ext_v2.pdocument, qr, anchors={qr.out: ext_v2.occurrence_copies(7)}
+        )
         assert hit == Fraction(9, 10)
         assert miss == 0
+
+    def test_never_copied_node_anchors_to_nothing(self, ext_v2):
+        qr = parse_pattern("doc(v2BON)/bonus")
+        assert ext_v2.occurrence_copies(9999) == ()
+        assert (
+            boolean_probability(
+                ext_v2.pdocument,
+                qr,
+                anchors={qr.out: ext_v2.occurrence_copies(9999)},
+            )
+            == 0
+        )
+
+
+class TestAnchorViaMarkerDeprecated:
+    def test_warns_and_builds_legacy_pattern(self):
+        q = parse_pattern("doc(v)/bonus")
+        with pytest.warns(DeprecationWarning, match="provenance anchor sets"):
+            anchored = anchor_via_marker(q, 5)
+        assert {
+            parse_marker_label(n.label) for n in anchored.predicate_nodes()
+        } == {5}
+
+    def test_marker_pattern_cannot_match_id_free_extension(self, ext_v2):
+        qr = parse_pattern("doc(v2BON)/bonus[laptop]")
+        with pytest.warns(DeprecationWarning):
+            anchored = anchor_via_marker(qr, 5)
+        assert boolean_probability(ext_v2.pdocument, anchored) == 0
