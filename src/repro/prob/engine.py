@@ -229,6 +229,11 @@ class EvaluationEngine:
             (default).  ``False`` restores the node-keyed behaviour where
             anchored evaluations bypass the store entirely — kept as the
             baseline for ``benchmarks/bench_anchored.py``.
+        bulk_store: probe-plan prefetch for store-consulting passes —
+            ``None`` (default) follows ``store.prefers_bulk`` (on for a
+            live :class:`~repro.store.SqliteStore`), ``True``/``False``
+            force it.  Answers and store accounting are identical either
+            way; only the round-trip shape changes.
 
     Attributes:
         visits: cumulative count of p-document nodes combined by the DP —
@@ -247,6 +252,7 @@ class EvaluationEngine:
         backend: BackendLike = "exact",
         store: Optional[MemoStore] = None,
         anchored_store: bool = True,
+        bulk_store: Optional[bool] = None,
     ) -> None:
         self.p = p
         self.patterns = list(patterns)
@@ -254,6 +260,7 @@ class EvaluationEngine:
         self.anchors = normalize_anchors(self.patterns, anchors)
         self.store = store
         self.anchored_store = anchored_store
+        self.bulk_store = bulk_store
         self.visits = 0
         self._zero = self.backend.zero
         self._one = self.backend.one
@@ -542,7 +549,9 @@ class EvaluationEngine:
             ),
             gate=GATE_UNPINNED,
         )
-        return stored_postorder(self.p, [lane], self.store)[0]
+        return stored_postorder(
+            self.p, [lane], self.store, bulk=self.bulk_store
+        )[0]
 
     def _combine_single(self, node: PNode, memo: dict) -> Distribution:
         return self._combine_single_gated(node, memo, _GRANT_ALL)
@@ -636,7 +645,9 @@ class EvaluationEngine:
             gate=GATE_BLOCKED,
             pinned=True,
         )
-        return stored_postorder(self.p, [lane], self.store)[0]
+        return stored_postorder(
+            self.p, [lane], self.store, bulk=self.bulk_store
+        )[0]
 
     def _combine_ordinary_pinned(
         self, node: PNode, memo: dict, candidate_set: frozenset

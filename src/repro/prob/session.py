@@ -229,6 +229,13 @@ class QuerySession:
             anchored entries live in the session-local memo and die with
             the session — kept as the baseline of
             ``benchmarks/bench_anchored.py``.
+        bulk_store: probe-plan prefetch for the session's store passes —
+            ``None`` (default) follows ``store.prefers_bulk`` (on for a
+            live :class:`~repro.store.SqliteStore`), ``True``/``False``
+            force it.  Answers and store accounting are identical either
+            way; only the round-trip shape changes (one ``get_many`` /
+            ``contains_many`` / ``put_many`` per pass instead of
+            per-node calls).
 
     Attributes:
         stats: cumulative :class:`SessionStats`.
@@ -244,12 +251,14 @@ class QuerySession:
         memo_limit: int = 1 << 18,
         store: Optional[MemoStore] = None,
         anchored_store: bool = True,
+        bulk_store: Optional[bool] = None,
     ) -> None:
         self.p = p
         self.backend: NumericBackend = get_backend(backend)
         self.memoize = memoize
         self.memo_limit = memo_limit
         self.anchored_store = anchored_store
+        self.bulk_store = bulk_store
         if not memoize and store is not None:
             raise ValueError(
                 "memoize=False is contradictory with an explicit store: "
@@ -600,7 +609,15 @@ class QuerySession:
                 sets.append(candidates)
             return sets
         document_key = self.p.identity_digest()
-        sets = []
+        bulk = (
+            self.bulk_store
+            if self.bulk_store is not None
+            else getattr(store, "prefers_bulk", False)
+        )
+        # Resolve per-query store keys first: the bulk path prefetches
+        # every cache-missing key in one round trip instead of one point
+        # read per query.  ``key is None`` marks a session-cache hit.
+        plan = []
         for engine, query in zip(engines, queries):
             # World-scoped session cache first: spine refreshes keep it
             # across probability-only mutations, where the identity
@@ -608,7 +625,7 @@ class QuerySession:
             # cannot.  The stored query ref pins id(query) against reuse.
             hit = session_cache.get(id(query))
             if hit is not None and hit[0] is query:
-                sets.append(hit[1])
+                plan.append((query, None, hit[1]))
                 continue
             table, _, _ = engine.goal_table_fingerprint(engine.table_labels)
             key = (
@@ -618,7 +635,30 @@ class QuerySession:
                 "candidates",
                 "node-ids",
             )
-            cached = store.get(key)
+            plan.append((query, key, None))
+        prefetched: dict = {}
+        if bulk:
+            wanted = [key for _, key, _ in plan if key is not None]
+            if wanted:
+                prefetched = store.get_many(wanted, record=False)
+        # Misses save into ``pending`` and flush as one put_many; probes
+        # consult it too, so two queries sharing a key count miss-then-hit
+        # and put once — exactly as the per-key loop would.
+        pending: dict = {}
+        sets = []
+        for query, key, known in plan:
+            if key is None:
+                sets.append(known)
+                continue
+            if bulk:
+                cached = prefetched.get(key)
+                if cached is None:
+                    entry = pending.get(key)
+                    if entry is not None:
+                        cached = entry[0]
+                store.record_probe(key, cached is not None)
+            else:
+                cached = store.get(key)
             if cached is not None:
                 candidates = frozenset(cached)
             else:
@@ -629,15 +669,20 @@ class QuerySession:
                 # running the deterministic embedding — O(document) — so
                 # weight by document size, not by the (often tiny)
                 # candidate count.
-                store.put(
-                    key,
-                    {node_id: 1.0 for node_id in candidates},
-                    weight=self.p.size(),
-                )
+                payload = {node_id: 1.0 for node_id in candidates}
+                if bulk:
+                    pending[key] = (payload, self.p.size())
+                else:
+                    store.put(key, payload, weight=self.p.size())
             if len(session_cache) > 4096:
                 session_cache.clear()
             session_cache[id(query)] = (query, candidates)
             sets.append(candidates)
+        if pending:
+            store.put_many(
+                (key, payload, weight)
+                for key, (payload, weight) in pending.items()
+            )
         return sets
 
     # ------------------------------------------------------------------
@@ -725,7 +770,8 @@ class QuerySession:
             )
         with sp:
             roots = stored_postorder(
-                self.p, lanes, self.store, self._local, self.stats
+                self.p, lanes, self.store, self._local, self.stats,
+                bulk=self.bulk_store,
             )
         if sp:
             after = self.stats

@@ -39,7 +39,11 @@ lanes), so a blocked pinned-pass entry and an unpinned Boolean-pass
 entry share whenever every lane is insensitive.  Warm passes resolve
 the whole key with one dict lookup per node (:class:`StackedKeyer`
 caches per node id, and the session caches the keyer per batch
-signature).
+signature).  Against a bulk-preferring store (a live
+:class:`~repro.store.SqliteStore`, or ``QuerySession(bulk_store=True)``)
+the pass prefetches every combined key with one uncounted ``get_many``
+and lands its saves as one ``put_many`` — the probe-plan protocol of
+:mod:`repro.prob.traversal`, with identical hit/miss/put accounting.
 
 **Exact fallback.**  When a stacked width exceeds the backend's
 ``width_threshold`` — or a row-offset would not fit int64 — the node
@@ -73,6 +77,7 @@ from ..store import (
     fingerprint_digest,
 )
 from .engine import _GRANT_ALL, _GRANT_NONE, EvaluationEngine
+from .traversal import _ProbePlan
 
 __all__ = ["StackedKeyer", "stacked_answer_many", "stacked_boolean_many"]
 
@@ -360,7 +365,7 @@ class _StackedPass:
     __slots__ = (
         "p", "lanes", "ops", "store", "stats", "backend", "grant",
         "union_live", "all_labels", "keyer", "width_threshold",
-        "unit_dict", "_rewrite_plans", "_a_mask_col",
+        "unit_dict", "bulk", "_rewrite_plans", "_a_mask_col",
     )
 
     def __init__(
@@ -381,6 +386,7 @@ class _StackedPass:
         self.grant = _GRANT_NONE if gate == GATE_BLOCKED else _GRANT_ALL
         self.union_live = union_live
         self.keyer = keyer
+        self.bulk = getattr(session, "bulk_store", None)
         self.width_threshold = backend.width_threshold
         self.unit_dict = {0: 1.0}
         all_labels: frozenset = frozenset()
@@ -405,6 +411,16 @@ class _StackedPass:
         store = self.store
         keyer = self.keyer
         use_memo = store is not None and keyer is not None
+        plan = (
+            self._build_plan(labels)
+            if use_memo
+            and (
+                self.bulk
+                if self.bulk is not None
+                else getattr(store, "prefers_bulk", False)
+            )
+            else None
+        )
         stats = self.stats
         entries: dict = {}
         stack = [(p.root, False)]
@@ -422,7 +438,11 @@ class _StackedPass:
                     if use_memo:
                         key, anchored = keyer.key(node_id, label_set)
                         if key is not None:
-                            cached = store.get(key)
+                            cached = (
+                                plan.probe(key)
+                                if plan is not None
+                                else store.get(key)
+                            )
                             if (
                                 cached is not None
                                 and getattr(cached, "lanes", -1) == lane_count
@@ -448,7 +468,11 @@ class _StackedPass:
                     key, anchored = keyer.key(node_id, label_set)
                     if key is not None and entry[0] == "s":
                         stacked = entry[1]
-                        if not store.contains(key):
+                        if plan is not None:
+                            plan.save(
+                                key, stacked, keyer.weight(node_id, stacked)
+                            )
+                        elif not store.contains(key):
                             store.put(
                                 key, stacked, keyer.weight(node_id, stacked)
                             )
@@ -457,7 +481,27 @@ class _StackedPass:
                     stats.anchored_misses += lane_count
             for child in node.children:
                 entries.pop(child.node_id, None)
+        if plan is not None:
+            plan.flush()  # the pass's saves land as one put_many
         return entries.pop(p.root.node_id)
+
+    def _build_plan(self, labels: dict) -> _ProbePlan:
+        """Enumerate every combined key the pass may probe and answer
+        them with one uncounted ``get_many`` (live-spine nodes never
+        probe or save here, so no ``contains_many`` guard set)."""
+        keyer = self.keyer
+        union_live = self.union_live
+        all_labels = self.all_labels
+        keys = set()
+        for node_id, label_set in labels.items():
+            if node_id in union_live or not (all_labels & label_set):
+                continue
+            key, _ = keyer.key(node_id, label_set)
+            if key is not None:
+                keys.add(key)
+        with trace_span("store.bulk_prefetch", probe_keys=len(keys)):
+            snapshot = self.store.get_many(keys, record=False) if keys else {}
+        return _ProbePlan(self.store, snapshot, set())
 
     # -- per-lane views of child entries --------------------------------
     def _pinned_view(self, entry, lane_index: int):

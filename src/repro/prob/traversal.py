@@ -41,12 +41,30 @@ session-``local`` store.  Live-spine entries are recombined every pass
 without a prior probe; equal keys mean equal distributions, so saves are
 ``contains``-guarded to skip the redundant re-store (a disk write per
 node on :class:`~repro.store.SqliteStore`).
+
+**Probe plans (bulk I/O).**  Against a store that prefers bulk probing
+(``store.prefers_bulk``, e.g. a live :class:`~repro.store.SqliteStore`;
+forceable via ``bulk=``), the pass front-loads its store traffic: every
+lane's candidate keys are enumerated from the epoch-cached digest
+indexes (:meth:`~repro.store.SubtreeKeyer.plan_keys`) and answered by
+ONE :meth:`~repro.store.MemoStore.get_many` plus one
+:meth:`~repro.store.MemoStore.contains_many` for the live-spine
+save-guard set, and all saves collect into one
+:meth:`~repro.store.MemoStore.put_many` at pass end — per-node store
+calls disappear from the hot loop.  The prefetch is *uncounted*
+(``record=False``): it probes keys under subtrees the walk may skip, so
+hit/miss accounting happens per *use* through
+:meth:`~repro.store.MemoStore.record_probe`, keeping ``stats()``
+byte-identical to the per-key path.  Deferred saves live in the plan's
+``pending`` map, which probes and reprobes consult — same-pass
+cross-lane sharing survives the deferral.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from ..obs.trace import span
 from ..store import MemoStore, SubtreeKeyer
 
 __all__ = ["Lane", "stored_postorder"]
@@ -107,11 +125,11 @@ def _probe(key, is_local: bool, store, local) -> Optional[dict]:
 
 
 def _reprobe(key, is_local: bool, store, local) -> Optional[dict]:
-    """Second-chance probe: hit only via ``contains`` (no re-counted miss)."""
+    """Second-chance probe: one store call, a hit counts, a miss does not."""
     target = local if is_local else store
-    if target is None or not target.contains(key):
+    if target is None:
         return None
-    return target.get(key)
+    return target.reprobe(key)
 
 
 def _save(key, is_local: bool, store, local, distribution, weight) -> None:
@@ -120,12 +138,87 @@ def _save(key, is_local: bool, store, local, distribution, weight) -> None:
         target.put(key, distribution, weight)
 
 
+class _ProbePlan:
+    """One pass's bulk store I/O, front-loaded.
+
+    ``snapshot`` holds the answers of one *uncounted* ``get_many`` over
+    every key the pass may probe; ``present`` the ``contains_many``
+    answer for the live-spine save-guard keys; ``pending`` the deferred
+    saves, consulted by :meth:`probe`/:meth:`reprobe` so same-pass
+    cross-lane sharing works exactly as with eager per-key puts, and
+    landed as one ``put_many`` by :meth:`flush`.  Hit/miss accounting
+    happens per use (:meth:`~repro.store.MemoStore.record_probe`), so
+    store counters match the per-key path even though the prefetch
+    touched keys under skipped subtrees.
+    """
+
+    __slots__ = ("store", "snapshot", "present", "pending")
+
+    def __init__(self, store, snapshot: dict, present: set) -> None:
+        self.store = store
+        self.snapshot = snapshot
+        self.present = present
+        self.pending: dict = {}
+
+    def probe(self, key) -> Optional[dict]:
+        value = self.snapshot.get(key)
+        if value is None:
+            entry = self.pending.get(key)
+            if entry is not None:
+                value = entry[0]
+        self.store.record_probe(key, value is not None)
+        return value
+
+    def reprobe(self, key) -> Optional[dict]:
+        # A stashed pre-check miss was absent from the snapshot; only a
+        # same-pass save can have filled the key since.  Hit counts,
+        # miss does not — mirroring MemoStore.reprobe.
+        entry = self.pending.get(key)
+        if entry is None:
+            return None
+        self.store.record_probe(key, True)
+        return entry[0]
+
+    def save(self, key, distribution, weight) -> None:
+        if key in self.snapshot or key in self.present or key in self.pending:
+            return  # presence-guarded, like the per-key _save
+        self.pending[key] = (distribution, weight)
+
+    def flush(self) -> None:
+        if self.pending:
+            self.store.put_many(
+                (key, distribution, weight)
+                for key, (distribution, weight) in self.pending.items()
+            )
+
+
+def _build_plan(lanes, store, labels) -> _ProbePlan:
+    """Enumerate every lane's candidate keys and issue the bulk probes."""
+    probe_keys: set = set()
+    guard_keys: set = set()
+    for lane in lanes:
+        lane_probe, lane_guard = lane.keyer.plan_keys(
+            labels, lane.live, lane.gate
+        )
+        probe_keys |= lane_probe
+        guard_keys |= lane_guard
+    with span(
+        "store.bulk_prefetch",
+        probe_keys=len(probe_keys),
+        guard_keys=len(guard_keys),
+    ):
+        snapshot = store.get_many(probe_keys, record=False) if probe_keys else {}
+        present = store.contains_many(guard_keys) if guard_keys else set()
+    return _ProbePlan(store, snapshot, present)
+
+
 def stored_postorder(
     p,
     lanes: Sequence[Lane],
     store: Optional[MemoStore],
     local: Optional[MemoStore] = None,
     stats=None,
+    bulk: Optional[bool] = None,
 ) -> list:
     """Run all ``lanes`` through one shared post-order pass over ``p``.
 
@@ -146,9 +239,20 @@ def stored_postorder(
             ``anchored_hits`` / ``anchored_misses`` / ``neutral_skips`` /
             ``subtree_skips`` are updated; ``traversals`` is the
             caller's).
+        bulk: probe-plan prefetch — ``None`` (default) follows
+            ``store.prefers_bulk``, ``True``/``False`` force it on/off.
+            Answers and store hit/miss/put accounting are identical
+            either way; only the store-call shape changes (a handful of
+            bulk calls instead of per-node round trips).
     """
     labels = p.label_index()
     use_memo = store is not None
+    if use_memo and (
+        bulk if bulk is not None else getattr(store, "prefers_bulk", False)
+    ):
+        plan = _build_plan(lanes, store, labels)
+    else:
+        plan = None
     count = len(lanes)
     # A stashed pre-check miss can only turn into a hit when ANOTHER lane
     # fills the identical key before the expanded visit — between the two
@@ -187,7 +291,10 @@ def stored_postorder(
                 key, is_local, anchored = lane.keyer.token(
                     node_id, label_set, lane.gate
                 )
-                cached = _probe(key, is_local, store, local)
+                if plan is not None and not is_local:
+                    cached = plan.probe(key)
+                else:
+                    cached = _probe(key, is_local, store, local)
                 if cached is None:
                     probed.append(_MISS)
                     skip = False
@@ -224,10 +331,15 @@ def stored_postorder(
                         node_id, label_set, lane.gate
                     )
                     blocked = entry[0] if lane.pinned else entry
-                    _save(
-                        key, is_local, store, local, blocked,
-                        lane.keyer.weight(node_id, blocked),
-                    )
+                    if plan is not None and not is_local:
+                        plan.save(
+                            key, blocked, lane.keyer.weight(node_id, blocked)
+                        )
+                    else:
+                        _save(
+                            key, is_local, store, local, blocked,
+                            lane.keyer.weight(node_id, blocked),
+                        )
             elif not (lane.table_labels & label_set):
                 entry_map[node_id] = lane.unit_entry
                 if stats is not None:
@@ -239,14 +351,20 @@ def stored_postorder(
                     node_id, label_set, lane.gate
                 )
                 stashed = probed[i] if i < len(probed) else None
+                bulk_key = plan is not None and not is_local
                 if stashed is None:
-                    cached = _probe(key, is_local, store, local)
-                elif stashed is _MISS:
                     cached = (
-                        _reprobe(key, is_local, store, local)
-                        if reprobe_possible
-                        else None
+                        plan.probe(key)
+                        if bulk_key
+                        else _probe(key, is_local, store, local)
                     )
+                elif stashed is _MISS:
+                    if not reprobe_possible:
+                        cached = None
+                    elif bulk_key:
+                        cached = plan.reprobe(key)
+                    else:
+                        cached = _reprobe(key, is_local, store, local)
                 else:
                     # Pre-check hit, stashed in entry form already.
                     entry_map[node_id] = stashed
@@ -265,15 +383,22 @@ def stored_postorder(
                     entry = lane.combine(node, entry_map)
                     entry_map[node_id] = entry
                     blocked = entry[0] if lane.pinned else entry
-                    _save(
-                        key, is_local, store, local, blocked,
-                        lane.keyer.weight(node_id, blocked),
-                    )
+                    if bulk_key:
+                        plan.save(
+                            key, blocked, lane.keyer.weight(node_id, blocked)
+                        )
+                    else:
+                        _save(
+                            key, is_local, store, local, blocked,
+                            lane.keyer.weight(node_id, blocked),
+                        )
                     if stats is not None:
                         stats.memo_misses += 1
                         if anchored:
                             stats.anchored_misses += 1
             for child in children:
                 entry_map.pop(child.node_id, None)
+    if plan is not None:
+        plan.flush()  # the pass's saves land as one put_many
     root_id = p.root.node_id
     return [entries[i].pop(root_id) for i in indices]

@@ -128,6 +128,31 @@ class SubtreeKeyer:
         key, is_local, _ = self.token(node_id, label_set, gate)
         return None if is_local else key
 
+    def plan_keys(self, labels: dict, live: frozenset, gate: str) -> tuple:
+        """``(probe_keys, guard_keys)`` for a whole store-consulting pass.
+
+        ``probe_keys`` are the canonical store keys of every non-neutral,
+        non-live subtree — the keys a :func:`~repro.prob.traversal.
+        stored_postorder` pass may probe; ``guard_keys`` are the keys of
+        the live-spine subtrees, whose saves are presence-guarded but
+        never probed.  Local (node-keyed baseline) tokens are excluded —
+        they stay on the per-key path.  ``labels`` is the document's
+        ``label_index()`` mapping.
+        """
+        probe: set = set()
+        guard: set = set()
+        table_labels = self.table_labels
+        for node_id, label_set in labels.items():
+            if node_id in live:
+                key, is_local, _ = self.token(node_id, label_set, gate)
+                if not is_local:
+                    guard.add(key)
+            elif table_labels & label_set:
+                key, is_local, _ = self.token(node_id, label_set, gate)
+                if not is_local:
+                    probe.add(key)
+        return probe, guard
+
     def _encode(self, root_id: int, targets: tuple) -> tuple:
         """Per-slot sorted relative rank paths of the admissible nodes."""
         positions = self._positions

@@ -68,12 +68,7 @@ class InMemoryStore(MemoStore):
             self._count_get(key, hit=False)
             return None
         self._count_get(key, hit=True)
-        priority = self._clock + entry[_WEIGHT]
-        if priority > entry[_PRIORITY]:
-            self._stamp += 1
-            entry[_PRIORITY] = priority
-            entry[_STAMP] = self._stamp
-            heapq.heappush(self._heap, (priority, self._stamp, key))
+        self._touch(entry, key)
         return entry[_VALUE]
 
     def put(self, key: StoreKey, distribution: dict, weight: int = 1) -> None:
@@ -96,6 +91,57 @@ class InMemoryStore(MemoStore):
 
     def contains(self, key: StoreKey) -> bool:
         return key in self._entries
+
+    def reprobe(self, key: StoreKey) -> Optional[dict]:
+        """Single-probe second chance: one dict lookup, hit-only counting."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._count_get(key, hit=True)
+        self._touch(entry, key)
+        return entry[_VALUE]
+
+    def _touch(self, entry: list, key: StoreKey) -> None:
+        """Refresh an entry's GreedyDual-Size priority (a hit's side
+        effect, shared by the point and bulk read paths)."""
+        priority = self._clock + entry[_WEIGHT]
+        if priority > entry[_PRIORITY]:
+            self._stamp += 1
+            entry[_PRIORITY] = priority
+            entry[_STAMP] = self._stamp
+            heapq.heappush(self._heap, (priority, self._stamp, key))
+
+    # ------------------------------------------------------------------
+    # Bulk protocol: O(len(keys)) direct dict operations
+    # ------------------------------------------------------------------
+    def get_many(self, keys, record: bool = True) -> dict:
+        keys = list(keys)
+        self._count_bulk(len(keys))
+        entries = self._entries
+        out = {}
+        for key in keys:
+            entry = entries.get(key)
+            if entry is None:
+                if record:
+                    self._count_get(key, hit=False)
+                continue
+            if record:
+                self._count_get(key, hit=True)
+            self._touch(entry, key)
+            out[key] = entry[_VALUE]
+        return out
+
+    def contains_many(self, keys) -> set:
+        keys = list(keys)
+        self._count_bulk(len(keys))
+        entries = self._entries
+        return {key for key in keys if key in entries}
+
+    def put_many(self, entries) -> None:
+        entries = list(entries)
+        self._count_bulk(len(entries))
+        for key, distribution, weight in entries:
+            self.put(key, distribution, weight)
 
     def discard(self, predicate) -> int:
         """Drop every entry whose key satisfies ``predicate``.
